@@ -1,0 +1,71 @@
+// Ablation: edge-cache TTL. The paper measures TTL=0 (worst case) for
+// Fig. 5; this ablation shows what caching buys the system: origin load
+// drops with TTL while the worst-case staleness an RA can observe grows —
+// which is why ∆ acts as the tolerance parameter (§V: pull-based CDNs may
+// serve content up to one TTL old, hence the 2∆ window).
+#include <cstdio>
+
+#include "cdn/cdn.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "eval/population.hpp"
+
+using namespace ritm;
+
+int main() {
+  Rng rng(23);
+  const eval::Population population;
+  const auto clients = population.sample_vantage_points(60, rng);
+
+  std::printf("== ablation: edge cache TTL vs origin load and latency ==\n\n");
+  Table t({"TTL", "origin fetches", "hit rate", "p50 latency (ms)",
+           "p95 latency (ms)", "max staleness (s)"});
+
+  const Bytes object(4096, 0xAB);
+  const TimeMs horizon = 60'000;           // one simulated minute
+  const TimeMs update_every = 10'000;      // origin re-publishes every 10 s
+
+  for (TimeMs ttl : {TimeMs(0), TimeMs(1'000), TimeMs(5'000), TimeMs(10'000),
+                     TimeMs(30'000)}) {
+    cdn::Cdn cdn = cdn::make_global_cdn(ttl);
+    Summary latency;
+    double max_staleness = 0;
+    TimeMs now = 0;
+    std::uint64_t version_at_origin = 0;
+    while (now < horizon) {
+      if (now % update_every == 0) {
+        cdn.origin().put("feed", object, now);
+        ++version_at_origin;
+      }
+      // Every client polls once per second.
+      if (now % 1'000 == 0) {
+        for (const auto& c : clients) {
+          const auto fetch = cdn.get("feed", now, c, rng);
+          latency.add(fetch.latency_ms);
+          if (fetch.found) {
+            const double staleness =
+                double(now - fetch.object->published_at) / 1000.0;
+            max_staleness = std::max(max_staleness, staleness);
+          }
+        }
+      }
+      now += 1'000;
+    }
+
+    std::uint64_t hits = 0, requests = 0;
+    for (const auto& edge : cdn.edges()) {
+      hits += edge.stats().cache_hits;
+      requests += edge.stats().requests;
+    }
+    t.add_row({std::to_string(ttl / 1000) + "s",
+               Table::num(cdn.origin().requests_served()),
+               Table::num(requests ? double(hits) / double(requests) : 0, 2),
+               Table::num(latency.percentile(0.5), 1),
+               Table::num(latency.percentile(0.95), 1),
+               Table::num(max_staleness, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("TTL=0 reproduces the paper's worst-case measurement; "
+              "TTL ~ delta trades origin load for bounded staleness.\n");
+  return 0;
+}

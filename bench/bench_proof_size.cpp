@@ -1,0 +1,49 @@
+// §VII-D communication: the size of a revocation status (Eq. (3)) as a
+// function of dictionary size. Paper: "a revocation status for an entry
+// corresponding to the largest CRL that we observed would be 500-900
+// bytes", logarithmic in the number of revocations.
+#include <cstdio>
+
+#include "ca/authority.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace ritm;
+
+int main() {
+  Rng rng(11);
+  std::printf("== §VII-D: revocation status size vs dictionary size ==\n\n");
+
+  Table t({"revocations", "absence min", "absence avg", "absence max",
+           "presence avg"});
+
+  for (std::uint64_t n : {1'000ull, 10'000ull, 100'000ull, 339'557ull,
+                          1'000'000ull}) {
+    ca::CertificationAuthority::Config cfg;
+    cfg.id = "CA-1";
+    ca::CertificationAuthority ca(cfg, rng, 0);
+    std::vector<cert::SerialNumber> serials;
+    serials.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      serials.push_back(cert::SerialNumber::from_uint(i * 2 + 1, 4));
+    }
+    ca.revoke(std::move(serials), 0);
+
+    Summary absent, present;
+    for (int probe = 0; probe < 200; ++probe) {
+      const auto a = cert::SerialNumber::from_uint(rng.uniform(2 * n) & ~1ull,
+                                                   4);  // even: absent
+      absent.add(double(ca.status_for(a, 0).encode().size()));
+      const auto r = cert::SerialNumber::from_uint(
+          rng.uniform(n) * 2 + 1, 4);  // odd: present
+      present.add(double(ca.status_for(r, 0).encode().size()));
+    }
+    t.add_row({Table::num(n), Table::num(absent.min(), 0),
+               Table::num(absent.mean(), 0), Table::num(absent.max(), 0),
+               Table::num(present.mean(), 0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper reference: 500-900 bytes at 339,557 revocations\n");
+  std::printf("(sent once at the handshake, then every delta)\n");
+  return 0;
+}

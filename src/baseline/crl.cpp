@@ -1,0 +1,135 @@
+#include "baseline/crl.hpp"
+
+#include <algorithm>
+
+#include "common/io.hpp"
+
+namespace ritm::baseline {
+
+namespace {
+bool serial_less(const cert::SerialNumber& a, const cert::SerialNumber& b) {
+  return ritm::compare(ByteSpan(a.value), ByteSpan(b.value)) < 0;
+}
+
+void write_serials(ByteWriter& w, const std::vector<cert::SerialNumber>& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const auto& sn : s) w.var8(ByteSpan(sn.value));
+}
+
+std::optional<std::vector<cert::SerialNumber>> read_serials(ByteReader& r) {
+  auto count = r.try_u32();
+  if (!count) return std::nullopt;
+  std::vector<cert::SerialNumber> out;
+  // Bounded reservation: a forged count must not allocate ahead of data.
+  out.reserve(std::min<std::size_t>(*count, r.remaining() / 2));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto v = r.try_var8();
+    if (!v || v->empty()) return std::nullopt;
+    out.push_back(cert::SerialNumber{std::move(*v)});
+  }
+  return out;
+}
+}  // namespace
+
+Bytes Crl::tbs() const {
+  ByteWriter w;
+  w.raw(bytes_of("CRL-v1"));
+  w.var8(bytes_of(issuer));
+  w.u64(static_cast<std::uint64_t>(this_update));
+  w.u64(static_cast<std::uint64_t>(next_update));
+  write_serials(w, revoked);
+  return w.take();
+}
+
+Bytes Crl::encode() const {
+  Bytes out = tbs();
+  append(out, ByteSpan(signature.data(), signature.size()));
+  return out;
+}
+
+std::optional<Crl> Crl::decode(ByteSpan data) {
+  ByteReader r{data};
+  auto magic = r.try_raw(6);
+  if (!magic || Bytes(magic->begin(), magic->end()) != bytes_of("CRL-v1")) {
+    return std::nullopt;
+  }
+  Crl crl;
+  auto issuer = r.try_var8();
+  if (!issuer) return std::nullopt;
+  crl.issuer.assign(issuer->begin(), issuer->end());
+  auto tu = r.try_u64();
+  auto nu = tu ? r.try_u64() : std::nullopt;
+  if (!nu) return std::nullopt;
+  crl.this_update = static_cast<UnixSeconds>(*tu);
+  crl.next_update = static_cast<UnixSeconds>(*nu);
+  auto serials = read_serials(r);
+  if (!serials) return std::nullopt;
+  crl.revoked = std::move(*serials);
+  auto sig = r.try_raw(crl.signature.size());
+  if (!sig || !r.done()) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), crl.signature.begin());
+  return crl;
+}
+
+Crl Crl::make(cert::CaId issuer, UnixSeconds this_update,
+              UnixSeconds next_update,
+              std::vector<cert::SerialNumber> revoked,
+              const crypto::Seed& ca_key) {
+  Crl crl;
+  crl.issuer = std::move(issuer);
+  crl.this_update = this_update;
+  crl.next_update = next_update;
+  std::sort(revoked.begin(), revoked.end(), serial_less);
+  revoked.erase(std::unique(revoked.begin(), revoked.end()), revoked.end());
+  crl.revoked = std::move(revoked);
+  const Bytes t = crl.tbs();
+  crl.signature = crypto::sign(ByteSpan(t), ca_key);
+  return crl;
+}
+
+bool Crl::verify(const crypto::PublicKey& ca_key) const {
+  const Bytes t = tbs();
+  return crypto::verify(ByteSpan(t), signature, ca_key);
+}
+
+bool Crl::is_revoked(const cert::SerialNumber& serial) const {
+  return std::binary_search(revoked.begin(), revoked.end(), serial,
+                            serial_less);
+}
+
+Bytes DeltaCrl::tbs() const {
+  ByteWriter w;
+  w.raw(bytes_of("DCRL-v1"));
+  w.var8(bytes_of(issuer));
+  w.u64(static_cast<std::uint64_t>(base_this_update));
+  w.u64(static_cast<std::uint64_t>(this_update));
+  write_serials(w, added);
+  return w.take();
+}
+
+Bytes DeltaCrl::encode() const {
+  Bytes out = tbs();
+  append(out, ByteSpan(signature.data(), signature.size()));
+  return out;
+}
+
+DeltaCrl DeltaCrl::make(cert::CaId issuer, UnixSeconds base_this_update,
+                        UnixSeconds this_update,
+                        std::vector<cert::SerialNumber> added,
+                        const crypto::Seed& ca_key) {
+  DeltaCrl d;
+  d.issuer = std::move(issuer);
+  d.base_this_update = base_this_update;
+  d.this_update = this_update;
+  d.added = std::move(added);
+  const Bytes t = d.tbs();
+  d.signature = crypto::sign(ByteSpan(t), ca_key);
+  return d;
+}
+
+bool DeltaCrl::verify(const crypto::PublicKey& ca_key) const {
+  const Bytes t = tbs();
+  return crypto::verify(ByteSpan(t), signature, ca_key);
+}
+
+}  // namespace ritm::baseline

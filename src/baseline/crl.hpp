@@ -1,0 +1,59 @@
+// A concrete signed CRL (RFC 5280-shaped, compact encoding) — the baseline
+// a client must download in full to check one certificate. Used to compare
+// transfer sizes and staleness against RITM proofs (the paper cites a
+// 7.5 MB CRL holding 339,557 entries).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "common/time.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace ritm::baseline {
+
+struct Crl {
+  cert::CaId issuer;
+  UnixSeconds this_update = 0;
+  UnixSeconds next_update = 0;  // defines the CRL attack window
+  std::vector<cert::SerialNumber> revoked;  // sorted for binary search
+  crypto::Signature signature{};
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static std::optional<Crl> decode(ByteSpan data);
+
+  static Crl make(cert::CaId issuer, UnixSeconds this_update,
+                  UnixSeconds next_update,
+                  std::vector<cert::SerialNumber> revoked,
+                  const crypto::Seed& ca_key);
+
+  bool verify(const crypto::PublicKey& ca_key) const;
+  bool is_revoked(const cert::SerialNumber& serial) const;
+  bool is_fresh(UnixSeconds now) const noexcept {
+    return now >= this_update && now <= next_update;
+  }
+
+  std::size_t wire_size() const { return encode().size(); }
+};
+
+/// Delta CRL: only entries added since a base CRL's this_update.
+struct DeltaCrl {
+  cert::CaId issuer;
+  UnixSeconds base_this_update = 0;
+  UnixSeconds this_update = 0;
+  std::vector<cert::SerialNumber> added;
+  crypto::Signature signature{};
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static DeltaCrl make(cert::CaId issuer, UnixSeconds base_this_update,
+                       UnixSeconds this_update,
+                       std::vector<cert::SerialNumber> added,
+                       const crypto::Seed& ca_key);
+  bool verify(const crypto::PublicKey& ca_key) const;
+};
+
+}  // namespace ritm::baseline

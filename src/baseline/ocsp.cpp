@@ -1,0 +1,104 @@
+#include "baseline/ocsp.hpp"
+
+#include <stdexcept>
+
+#include "common/io.hpp"
+
+namespace ritm::baseline {
+
+Bytes OcspResponse::tbs() const {
+  ByteWriter w;
+  w.raw(bytes_of("OCSP-v1"));
+  w.var8(bytes_of(ca));
+  w.var8(ByteSpan(serial.value));
+  w.u8(revoked ? 1 : 0);
+  w.u64(static_cast<std::uint64_t>(produced_at));
+  w.u64(static_cast<std::uint64_t>(next_update));
+  return w.take();
+}
+
+Bytes OcspResponse::encode() const {
+  Bytes out = tbs();
+  append(out, ByteSpan(signature.data(), signature.size()));
+  return out;
+}
+
+std::optional<OcspResponse> OcspResponse::decode(ByteSpan data) {
+  ByteReader r{data};
+  auto magic = r.try_raw(7);
+  if (!magic || Bytes(magic->begin(), magic->end()) != bytes_of("OCSP-v1")) {
+    return std::nullopt;
+  }
+  OcspResponse resp;
+  auto ca = r.try_var8();
+  if (!ca) return std::nullopt;
+  resp.ca.assign(ca->begin(), ca->end());
+  auto serial = r.try_var8();
+  if (!serial || serial->empty()) return std::nullopt;
+  resp.serial.value = std::move(*serial);
+  auto flag = r.try_u8();
+  if (!flag || *flag > 1) return std::nullopt;
+  resp.revoked = *flag == 1;
+  auto pa = r.try_u64();
+  auto nu = pa ? r.try_u64() : std::nullopt;
+  if (!nu) return std::nullopt;
+  resp.produced_at = static_cast<UnixSeconds>(*pa);
+  resp.next_update = static_cast<UnixSeconds>(*nu);
+  auto sig = r.try_raw(resp.signature.size());
+  if (!sig || !r.done()) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), resp.signature.begin());
+  return resp;
+}
+
+bool OcspResponse::verify(const crypto::PublicKey& ca_key) const {
+  const Bytes t = tbs();
+  return crypto::verify(ByteSpan(t), signature, ca_key);
+}
+
+OcspResponder::OcspResponder(cert::CaId ca, crypto::Seed key,
+                             UnixSeconds validity)
+    : ca_(std::move(ca)), key_(key), validity_(validity) {
+  if (validity_ <= 0) {
+    throw std::invalid_argument("OcspResponder: validity must be > 0");
+  }
+}
+
+void OcspResponder::revoke(const cert::SerialNumber& serial) {
+  revoked_.insert(serial.value);
+}
+
+OcspResponse OcspResponder::respond(const cert::SerialNumber& serial,
+                                    UnixSeconds now) const {
+  ++queries_;
+  OcspResponse resp;
+  resp.ca = ca_;
+  resp.serial = serial;
+  resp.revoked = revoked_.count(serial.value) != 0;
+  resp.produced_at = now;
+  resp.next_update = now + validity_;
+  const Bytes t = resp.tbs();
+  resp.signature = crypto::sign(ByteSpan(t), key_);
+  return resp;
+}
+
+StaplingServer::StaplingServer(const OcspResponder* responder,
+                               cert::SerialNumber serial,
+                               UnixSeconds refresh_interval)
+    : responder_(responder),
+      serial_(std::move(serial)),
+      refresh_interval_(refresh_interval) {
+  if (responder_ == nullptr) {
+    throw std::invalid_argument("StaplingServer: null responder");
+  }
+}
+
+const OcspResponse& StaplingServer::staple(UnixSeconds now) {
+  if (!cached_ || now - fetched_at_ >= refresh_interval_) {
+    cached_ = responder_->respond(serial_, now);
+    fetched_at_ = now;
+    ++fetches_;
+  }
+  return *cached_;
+}
+
+}  // namespace ritm::baseline

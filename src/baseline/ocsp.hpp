@@ -1,0 +1,73 @@
+// OCSP and OCSP Stapling baselines (RFC 6960-shaped): a CA-operated
+// responder signs per-certificate status; a stapling server caches the
+// response and re-serves it until it expires — which is exactly the attack
+// window the paper criticizes (a stapled response stays acceptable for its
+// whole validity, and the server controls the refresh).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "cert/certificate.hpp"
+#include "common/time.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace ritm::baseline {
+
+struct OcspResponse {
+  cert::CaId ca;
+  cert::SerialNumber serial;
+  bool revoked = false;
+  UnixSeconds produced_at = 0;
+  UnixSeconds next_update = 0;
+  crypto::Signature signature{};
+
+  Bytes tbs() const;
+  Bytes encode() const;
+  static std::optional<OcspResponse> decode(ByteSpan data);
+  bool verify(const crypto::PublicKey& ca_key) const;
+  bool is_fresh(UnixSeconds now) const noexcept {
+    return now >= produced_at && now <= next_update;
+  }
+};
+
+/// The CA's OCSP responder.
+class OcspResponder {
+ public:
+  OcspResponder(cert::CaId ca, crypto::Seed key, UnixSeconds validity);
+
+  void revoke(const cert::SerialNumber& serial);
+  OcspResponse respond(const cert::SerialNumber& serial, UnixSeconds now) const;
+  std::uint64_t queries_served() const noexcept { return queries_; }
+
+ private:
+  cert::CaId ca_;
+  crypto::Seed key_;
+  UnixSeconds validity_;
+  std::set<Bytes> revoked_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+/// A server that staples: fetches a response when its cached one expires
+/// (or never re-fetches, if misconfigured — the paper's §II criticism).
+class StaplingServer {
+ public:
+  StaplingServer(const OcspResponder* responder, cert::SerialNumber serial,
+                 UnixSeconds refresh_interval);
+
+  /// The staple the server would send with a handshake at `now`.
+  const OcspResponse& staple(UnixSeconds now);
+
+  std::uint64_t responder_fetches() const noexcept { return fetches_; }
+
+ private:
+  const OcspResponder* responder_;
+  cert::SerialNumber serial_;
+  UnixSeconds refresh_interval_;
+  std::optional<OcspResponse> cached_;
+  UnixSeconds fetched_at_ = 0;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace ritm::baseline

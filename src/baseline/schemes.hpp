@@ -1,0 +1,71 @@
+// Baseline revocation mechanisms (paper §II and Tab. IV): CRL, CRLSet,
+// OCSP, OCSP Stapling, log-based approaches (client- and server-driven),
+// RevCast, and RITM itself — each expressed as an analytic profile of
+// storage, connection counts, attack window, and satisfied properties,
+// parameterized by ecosystem size.
+//
+// Tab. IV legend: I near-instant revocation, P privacy, E efficiency and
+// scalability, T transparency/accountability, S server changes not required.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ritm::baseline {
+
+/// Ecosystem size parameters (the paper's n_s, n_ca, n_ra, n_cl, n_rev).
+struct Params {
+  std::uint64_t n_servers = 10'000'000;
+  std::uint64_t n_cas = 254;
+  std::uint64_t n_ras = 230'000'000;  // paper's conservative 10 clients/RA
+  std::uint64_t n_clients = 2'300'000'000;
+  std::uint64_t n_revocations = 1'381'992;
+  double delta_seconds = 10.0;        // RITM's ∆
+  double crlset_coverage = 0.0035;    // CRLSets carry 0.35% of revocations
+  double crl_refresh_seconds = 86400; // typical CRL nextUpdate
+  double ocsp_validity_seconds = 7 * 86400;  // max OCSP response age
+  double slc_lifetime_seconds = 4 * 86400;   // short-lived cert lifetime
+  double software_update_seconds = 5 * 86400;  // CRLSet push cadence
+  double log_update_seconds = 6 * 3600;        // log MMD-style refresh
+  double revcast_bits_per_second = 421.8;      // paper §II
+  double bytes_per_revocation = 12.0;          // 3B serial + metadata
+};
+
+struct SchemeProfile {
+  std::string name;
+  // Entries stored, as functions of the params (Tab. IV's formulas).
+  double storage_global = 0;
+  double storage_client = 0;
+  // Connections needed so that an arbitrary client can validate an
+  // arbitrary server.
+  double conn_global = 0;
+  double conn_client = 0;
+  /// Attack window: worst-case seconds between a revocation being issued
+  /// and every client rejecting the certificate.
+  double attack_window_seconds = 0;
+  /// Violated properties, in the paper's notation ("I, P, E, T"; "-" none).
+  std::string violated;
+  /// True if deployment requires changing server software/config.
+  bool needs_server_change = false;
+};
+
+/// All rows of Tab. IV (same order as the paper), evaluated for `p`.
+std::vector<SchemeProfile> evaluate_all(const Params& p);
+
+/// Single-scheme accessors (useful for focused benches/tests).
+SchemeProfile crl(const Params& p);
+SchemeProfile crlset(const Params& p);
+SchemeProfile ocsp(const Params& p);
+SchemeProfile ocsp_stapling(const Params& p);
+SchemeProfile log_client_driven(const Params& p);
+SchemeProfile log_server_driven(const Params& p);
+SchemeProfile revcast(const Params& p);
+SchemeProfile ritm(const Params& p);
+
+/// Seconds RevCast needs to broadcast `revocations` entries at its radio
+/// bitrate — the dissemination bottleneck the paper calls out.
+double revcast_dissemination_seconds(const Params& p,
+                                     std::uint64_t revocations);
+
+}  // namespace ritm::baseline

@@ -1,0 +1,52 @@
+#include "ca/distribution.hpp"
+
+#include <stdexcept>
+
+namespace ritm::ca {
+
+DistributionPoint::DistributionPoint(cdn::Cdn* cdn, UnixSeconds delta)
+    : cdn_(cdn), delta_(delta) {
+  if (cdn_ == nullptr) {
+    throw std::invalid_argument("DistributionPoint: null CDN");
+  }
+  if (delta_ <= 0) {
+    throw std::invalid_argument("DistributionPoint: delta must be > 0");
+  }
+}
+
+void DistributionPoint::register_ca(const cert::CaId& ca,
+                                    const crypto::PublicKey& key) {
+  keys_[ca] = key;
+}
+
+bool DistributionPoint::submit(FeedMessage msg) {
+  const auto key_it = keys_.find(msg.ca());
+  if (key_it == keys_.end()) {
+    ++rejected_;
+    return false;
+  }
+  if (msg.type == FeedMessage::Type::issuance) {
+    if (!msg.issuance || !msg.issuance->signed_root.verify(key_it->second)) {
+      ++rejected_;
+      return false;
+    }
+    latest_roots_[msg.ca()] = msg.issuance->signed_root;
+  }
+  pending_.push_back(std::move(msg));
+  return true;
+}
+
+void DistributionPoint::publish(TimeMs now) {
+  cdn_->origin().put(feed_path(next_period_), encode_feed(pending_), now);
+  for (const auto& [ca, root] : latest_roots_) {
+    cdn_->origin().put(root_path(ca), root.encode(), now);
+  }
+  pending_.clear();
+  ++next_period_;
+}
+
+std::string DistributionPoint::root_path(const cert::CaId& ca) {
+  return "roots/" + ca;
+}
+
+}  // namespace ritm::ca

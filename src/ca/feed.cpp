@@ -1,0 +1,100 @@
+#include "ca/feed.hpp"
+
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "common/io.hpp"
+
+namespace ritm::ca {
+
+FeedMessage FeedMessage::of(dict::RevocationIssuance m) {
+  FeedMessage out;
+  out.type = Type::issuance;
+  out.issuance = std::move(m);
+  return out;
+}
+
+FeedMessage FeedMessage::of(dict::FreshnessStatement m) {
+  FeedMessage out;
+  out.type = Type::freshness;
+  out.freshness = std::move(m);
+  return out;
+}
+
+const cert::CaId& FeedMessage::ca() const {
+  if (type == Type::issuance) {
+    if (!issuance) throw std::logic_error("FeedMessage: missing issuance");
+    return issuance->signed_root.ca;
+  }
+  if (!freshness) throw std::logic_error("FeedMessage: missing freshness");
+  return freshness->ca;
+}
+
+Bytes FeedMessage::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  if (type == Type::issuance) {
+    if (!issuance) throw std::logic_error("FeedMessage: missing issuance");
+    w.var24(ByteSpan(issuance->encode()));
+  } else {
+    if (!freshness) throw std::logic_error("FeedMessage: missing freshness");
+    w.var24(ByteSpan(freshness->encode()));
+  }
+  return w.take();
+}
+
+std::optional<FeedMessage> FeedMessage::decode(ByteSpan data) {
+  ByteReader r{data};
+  auto type = r.try_u8();
+  if (!type || *type > 1) return std::nullopt;
+  auto body = r.try_var24();
+  if (!body || !r.done()) return std::nullopt;
+  FeedMessage m;
+  m.type = static_cast<Type>(*type);
+  if (m.type == Type::issuance) {
+    auto i = dict::RevocationIssuance::decode(ByteSpan(*body));
+    if (!i) return std::nullopt;
+    m.issuance = std::move(*i);
+  } else {
+    auto f = dict::FreshnessStatement::decode(ByteSpan(*body));
+    if (!f) return std::nullopt;
+    m.freshness = std::move(*f);
+  }
+  return m;
+}
+
+Bytes encode_feed(const Feed& feed) {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(feed.size()));
+  for (const auto& m : feed) w.var24(ByteSpan(m.encode()));
+  return w.take();
+}
+
+std::optional<Feed> decode_feed(ByteSpan data) {
+  ByteReader r{data};
+  auto count = r.try_u16();
+  if (!count) return std::nullopt;
+  Feed out;
+  // Each message costs at least 4 bytes (type + u24 length); bound the
+  // reservation so forged counts cannot force large allocations.
+  out.reserve(std::min<std::size_t>(*count, r.remaining() / 4));
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto body = r.try_var24();
+    if (!body) return std::nullopt;
+    auto m = FeedMessage::decode(ByteSpan(*body));
+    if (!m) return std::nullopt;
+    out.push_back(std::move(*m));
+  }
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+std::string feed_path(std::uint64_t period) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "feed/%06llu",
+                static_cast<unsigned long long>(period));
+  return buf;
+}
+
+}  // namespace ritm::ca

@@ -1,0 +1,45 @@
+// The dissemination feed: per period ∆, the distribution point aggregates
+// every CA's message for that period (a revocation issuance or a freshness
+// statement, Tab. I) into one CDN object that RAs pull with a single GET
+// (§VI: "Every ∆, each RA contacts an edge server via an HTTP GET request
+// to pull new revocations and freshness statements").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dict/messages.hpp"
+
+namespace ritm::ca {
+
+struct FeedMessage {
+  enum class Type : std::uint8_t { issuance = 0, freshness = 1 };
+
+  Type type = Type::freshness;
+  std::optional<dict::RevocationIssuance> issuance;
+  std::optional<dict::FreshnessStatement> freshness;
+
+  static FeedMessage of(dict::RevocationIssuance m);
+  static FeedMessage of(dict::FreshnessStatement m);
+
+  /// CA the message belongs to.
+  const cert::CaId& ca() const;
+
+  Bytes encode() const;
+  static std::optional<FeedMessage> decode(ByteSpan data);
+
+  bool operator==(const FeedMessage&) const = default;
+};
+
+/// One period's aggregated object.
+using Feed = std::vector<FeedMessage>;
+
+Bytes encode_feed(const Feed& feed);
+std::optional<Feed> decode_feed(ByteSpan data);
+
+/// CDN object path for period k ("feed/000042").
+std::string feed_path(std::uint64_t period);
+
+}  // namespace ritm::ca

@@ -1,0 +1,62 @@
+#include "ca/manifest.hpp"
+
+#include "common/io.hpp"
+
+namespace ritm::ca {
+
+Bytes Manifest::body() const {
+  ByteWriter w;
+  w.raw(bytes_of("RITM-MANIFEST-v1"));
+  w.var8(bytes_of(ca));
+  w.u64(static_cast<std::uint64_t>(delta));
+  w.u64(dictionary_size);
+  return w.take();
+}
+
+Bytes Manifest::encode() const {
+  Bytes out = body();
+  append(out, ByteSpan(signature.data(), signature.size()));
+  return out;
+}
+
+std::optional<Manifest> Manifest::decode(ByteSpan data) {
+  ByteReader r{data};
+  auto magic = r.try_raw(16);
+  if (!magic ||
+      Bytes(magic->begin(), magic->end()) != bytes_of("RITM-MANIFEST-v1")) {
+    return std::nullopt;
+  }
+  Manifest m;
+  auto ca = r.try_var8();
+  if (!ca) return std::nullopt;
+  m.ca.assign(ca->begin(), ca->end());
+  auto delta = r.try_u64();
+  auto size = delta ? r.try_u64() : std::nullopt;
+  if (!size) return std::nullopt;
+  m.delta = static_cast<UnixSeconds>(*delta);
+  if (m.delta <= 0) return std::nullopt;
+  m.dictionary_size = *size;
+  auto sig = r.try_raw(m.signature.size());
+  if (!sig || !r.done()) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), m.signature.begin());
+  return m;
+}
+
+Manifest Manifest::make(cert::CaId ca, UnixSeconds delta,
+                        std::uint64_t dictionary_size,
+                        const crypto::KeyPair& kp) {
+  Manifest m;
+  m.ca = std::move(ca);
+  m.delta = delta;
+  m.dictionary_size = dictionary_size;
+  const Bytes b = m.body();
+  m.signature = crypto::sign(ByteSpan(b), kp.seed, kp.public_key);
+  return m;
+}
+
+bool Manifest::verify(const crypto::PublicKey& ca_key) const {
+  const Bytes b = body();
+  return crypto::verify(ByteSpan(b), signature, ca_key);
+}
+
+}  // namespace ritm::ca

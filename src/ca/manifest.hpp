@@ -1,0 +1,35 @@
+// The bootstrap manifest (§VIII "Bootstrapping CAs into RITM"): a CA that
+// starts a RITM deployment publishes a short signed manifest at a
+// well-known location (the paper suggests /RITM.json); RAs poll for it
+// periodically and clients learn about it through software update. The
+// manifest advertises the CA's ∆ (§VIII "Local ∆ parameter") and current
+// dictionary size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cert/certificate.hpp"
+#include "common/time.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace ritm::ca {
+
+struct Manifest {
+  cert::CaId ca;
+  UnixSeconds delta = 0;
+  std::uint64_t dictionary_size = 0;
+  crypto::Signature signature{};
+
+  Bytes body() const;
+  Bytes encode() const;
+  static std::optional<Manifest> decode(ByteSpan data);
+
+  static Manifest make(cert::CaId ca, UnixSeconds delta,
+                       std::uint64_t dictionary_size,
+                       const crypto::KeyPair& kp);
+
+  bool verify(const crypto::PublicKey& ca_key) const;
+};
+
+}  // namespace ritm::ca

@@ -1,0 +1,173 @@
+#include "client/client.hpp"
+
+namespace ritm::client {
+
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::accepted: return "accepted";
+    case Verdict::not_tls: return "not_tls";
+    case Verdict::bad_chain: return "bad_chain";
+    case Verdict::missing_status: return "missing_status";
+    case Verdict::unknown_ca: return "unknown_ca";
+    case Verdict::issuer_mismatch: return "issuer_mismatch";
+    case Verdict::bad_signature: return "bad_signature";
+    case Verdict::bad_proof: return "bad_proof";
+    case Verdict::revoked: return "revoked";
+    case Verdict::stale_freshness: return "stale_freshness";
+    case Verdict::downgrade: return "downgrade";
+  }
+  return "?";
+}
+
+RitmClient::RitmClient(Config config, cert::TrustStore roots)
+    : config_(config), roots_(std::move(roots)) {}
+
+Verdict RitmClient::validate_status(const dict::RevocationStatus& status,
+                                    const cert::Certificate& leaf,
+                                    UnixSeconds now) const {
+  // The status must come from the CA that issued the certificate.
+  if (status.signed_root.ca != leaf.issuer) return Verdict::issuer_mismatch;
+  const auto ca_key = roots_.find(leaf.issuer);
+  if (!ca_key) return Verdict::unknown_ca;
+  if (!status.signed_root.verify(*ca_key)) return Verdict::bad_signature;
+
+  // Step 5c: freshness no older than 2∆. The statement for period p walks
+  // to the committed anchor in exactly p hash steps; with
+  // p' = floor((time() - t) / ∆) we accept p in {p'-1, p', p'+1}:
+  //  * p'   — the current period,
+  //  * p'+1 — CA clock ahead of ours by up to ∆ (the paper's H^{p'+1} case),
+  //  * p'-1 — the pull-based dissemination race §V motivates ∆ as a
+  //           tolerance for (an RA may deliver a statement fetched just
+  //           before the CA published the next one).
+  // A statement for period p is thus accepted until t + (p+2)∆ — it is
+  // never older than 2∆.
+  const UnixSeconds t = status.signed_root.timestamp;
+  const std::uint64_t p_prime =
+      now <= t ? 0 : static_cast<std::uint64_t>((now - t) / config_.delta);
+  bool fresh = false;
+  const std::uint64_t lo = p_prime == 0 ? 0 : p_prime - 1;
+  for (std::uint64_t p = lo; p <= p_prime + 1 && !fresh; ++p) {
+    fresh = crypto::HashChain::verify(status.freshness, p,
+                                      status.signed_root.freshness_anchor);
+  }
+  if (!fresh) return Verdict::stale_freshness;
+
+  // Step 5b: the proof must verify against the signed root...
+  if (!dict::verify_proof(status.proof, leaf.serial, status.signed_root.root,
+                          status.signed_root.n)) {
+    return Verdict::bad_proof;
+  }
+  // ...and must be an *absence* proof: a valid presence proof means the
+  // certificate is revoked.
+  if (status.proof.type == dict::Proof::Type::presence) {
+    return Verdict::revoked;
+  }
+  return Verdict::accepted;
+}
+
+Verdict RitmClient::process_server_flight(sim::Packet& pkt, UnixSeconds now) {
+  ++stats_.handshakes;
+  const auto statuses = ra::strip_status(pkt);
+  const auto in = ra::inspect(ByteSpan(pkt.payload));
+  if (in.kind == ra::Inspection::Kind::not_tls) {
+    ++stats_.rejected;
+    return Verdict::not_tls;
+  }
+
+  auto reject = [&](Verdict v) {
+    ++stats_.rejected;
+    return v;
+  };
+
+  if (!in.chain || in.chain->empty()) return reject(Verdict::bad_chain);
+  if (config_.require_server_confirmation &&
+      (!in.server_hello || !in.server_hello->confirms_ritm())) {
+    return reject(Verdict::downgrade);
+  }
+
+  // Step 5a: standard validation.
+  if (cert::validate_chain(*in.chain, roots_, now) != cert::ChainError::ok) {
+    return reject(Verdict::bad_chain);
+  }
+
+  const cert::Certificate& leaf = in.chain->front();
+  if (statuses.empty()) {
+    if (config_.expect_ritm) return reject(Verdict::missing_status);
+    // Non-RITM fallback: plain TLS acceptance (legacy behaviour).
+    ++stats_.accepted;
+    return Verdict::accepted;
+  }
+
+  // With multiple RAs on the path the client may receive several statuses;
+  // any one valid absence proof from the issuing CA suffices.
+  Verdict last = Verdict::missing_status;
+  for (const auto& status : statuses) {
+    ++stats_.statuses_validated;
+    last = validate_status(status, leaf, now);
+    if (last == Verdict::accepted) break;
+    if (last == Verdict::revoked) break;  // definitive: do not keep looking
+  }
+  if (last != Verdict::accepted) return reject(last);
+
+  // §VIII chain proofs: every certificate in the chain needs an accepted
+  // status of its own.
+  if (config_.require_chain_proofs) {
+    for (std::size_t i = 1; i < in.chain->size(); ++i) {
+      Verdict link = Verdict::missing_status;
+      for (const auto& status : statuses) {
+        ++stats_.statuses_validated;
+        link = validate_status(status, (*in.chain)[i], now);
+        if (link == Verdict::accepted || link == Verdict::revoked) break;
+      }
+      if (link != Verdict::accepted) {
+        return reject(link == Verdict::revoked ? Verdict::revoked
+                                               : Verdict::missing_status);
+      }
+    }
+  }
+
+  const sim::FlowKey flow = sim::FlowKey::of(pkt).reversed();
+  connections_[flow] = Connection{leaf, now};
+  ++stats_.accepted;
+  return Verdict::accepted;
+}
+
+Verdict RitmClient::process_established(sim::Packet& pkt, UnixSeconds now) {
+  const sim::FlowKey flow = sim::FlowKey::of(pkt).reversed();
+  auto it = connections_.find(flow);
+  const auto statuses = ra::strip_status(pkt);
+  if (it == connections_.end()) return Verdict::accepted;  // untracked
+  if (statuses.empty()) return Verdict::accepted;  // ordinary data packet
+
+  Verdict last = Verdict::missing_status;
+  for (const auto& status : statuses) {
+    ++stats_.statuses_validated;
+    last = validate_status(status, it->second.leaf, now);
+    if (last == Verdict::accepted) {
+      it->second.last_status = now;
+      return Verdict::accepted;
+    }
+    if (last == Verdict::revoked) break;
+  }
+  if (last == Verdict::revoked) {
+    // Mid-connection revocation: tear the connection down immediately.
+    connections_.erase(it);
+    ++stats_.interrupts;
+  }
+  return last;
+}
+
+bool RitmClient::check_interrupt(const sim::FlowKey& flow, UnixSeconds now) {
+  auto it = connections_.find(flow);
+  if (it == connections_.end()) return false;
+  if (now - it->second.last_status <= 2 * config_.delta) return false;
+  connections_.erase(it);
+  ++stats_.interrupts;
+  return true;
+}
+
+void RitmClient::close_connection(const sim::FlowKey& flow) {
+  connections_.erase(flow);
+}
+
+}  // namespace ritm::client

@@ -1,0 +1,113 @@
+// The RITM-supported TLS client (paper §III steps 5–7).
+//
+// The client strips revocation-status records off incoming packets, runs
+// standard chain validation, then RITM validation: the proof must be a
+// valid *absence* proof against the CA's signed root, and the freshness
+// statement must be no older than 2∆ (verified by walking the hash chain
+// p' or p'+1 steps to the committed anchor). On established connections the
+// client expects a fresh status at least every ∆ and interrupts the
+// connection otherwise — this closes the mid-connection revocation race.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cert/certificate.hpp"
+#include "crypto/hash_chain.hpp"
+#include "dict/messages.hpp"
+#include "ra/dpi.hpp"
+#include "sim/packet.hpp"
+
+namespace ritm::client {
+
+enum class Verdict {
+  accepted,
+  not_tls,
+  bad_chain,         // standard X.509-style validation failed
+  missing_status,    // RITM expected but no RA attached a status
+  unknown_ca,        // no trust anchor for the issuer
+  issuer_mismatch,   // status signed by a different CA than the issuer
+  bad_signature,     // signed root does not verify
+  bad_proof,         // Merkle proof invalid
+  revoked,           // valid *presence* proof: certificate is revoked
+  stale_freshness,   // statement older than the 2∆ window
+  downgrade,         // RITM support expected but not confirmed (§IV/§V)
+};
+
+const char* to_string(Verdict v) noexcept;
+
+class RitmClient {
+ public:
+  struct Config {
+    UnixSeconds delta = 10;
+    /// True when the client has authentic knowledge that its connections
+    /// are RITM-protected (network announcement or terminator confirmation,
+    /// §IV). If set, a handshake without a revocation status is rejected as
+    /// a downgrade.
+    bool expect_ritm = true;
+    /// Require the ServerHello to carry the RITM confirmation extension
+    /// (TLS-terminator deployment).
+    bool require_server_confirmation = false;
+    /// §VIII "Certificate chains": require an accepted revocation status
+    /// for every certificate in the chain, not only the leaf.
+    bool require_chain_proofs = false;
+  };
+
+  struct Stats {
+    std::uint64_t handshakes = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t statuses_validated = 0;
+    std::uint64_t interrupts = 0;  // established connections torn down
+  };
+
+  RitmClient(Config config, cert::TrustStore roots);
+
+  /// Validates one revocation status for `leaf` (step 5 checks b and c).
+  Verdict validate_status(const dict::RevocationStatus& status,
+                          const cert::Certificate& leaf,
+                          UnixSeconds now) const;
+
+  /// Processes the server's first flight: strips statuses, validates chain
+  /// and revocation status. On success the connection becomes tracked
+  /// (keyed by the flow) for mid-connection revalidation.
+  Verdict process_server_flight(sim::Packet& pkt, UnixSeconds now);
+
+  /// Processes a mid-connection packet (step 7): validates any piggybacked
+  /// status and refreshes the connection's status clock.
+  Verdict process_established(sim::Packet& pkt, UnixSeconds now);
+
+  /// Step 6/7 policy: true if the connection must be interrupted because no
+  /// fresh status arrived within 2∆. Removes the connection when tripped.
+  bool check_interrupt(const sim::FlowKey& flow, UnixSeconds now);
+
+  /// Tracked (accepted and still live) connections.
+  std::size_t connection_count() const noexcept { return connections_.size(); }
+
+  void close_connection(const sim::FlowKey& flow);
+
+  const Stats& stats() const noexcept { return stats_; }
+  const cert::TrustStore& roots() const noexcept { return roots_; }
+
+ private:
+  struct Connection {
+    cert::Certificate leaf;
+    UnixSeconds last_status = 0;
+  };
+
+  struct FlowLess {
+    bool operator()(const sim::FlowKey& a, const sim::FlowKey& b) const {
+      return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port) <
+             std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port);
+    }
+  };
+
+  Config config_;
+  cert::TrustStore roots_;
+  Stats stats_;
+  std::map<sim::FlowKey, Connection, FlowLess> connections_;
+};
+
+}  // namespace ritm::client

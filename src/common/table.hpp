@@ -1,0 +1,28 @@
+// Fixed-width ASCII table printer. Every bench binary renders the rows of its
+// paper table/figure through this, so EXPERIMENTS.md can quote outputs
+// directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ritm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: converts arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+  /// Renders with a header underline; columns sized to widest cell.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ritm

@@ -1,0 +1,29 @@
+// Time types shared across the stack.
+//
+// The paper expresses time in Unix seconds (§II "Time is expressed in Unix
+// seconds and the time() function returns the current time"). The simulator
+// advances a virtual clock with millisecond resolution; protocol-level
+// timestamps are whole seconds.
+#pragma once
+
+#include <cstdint>
+
+namespace ritm {
+
+/// Absolute simulated time, milliseconds since simulation epoch.
+using TimeMs = std::int64_t;
+
+/// Protocol timestamp, whole Unix seconds (as in the paper's signed roots).
+using UnixSeconds = std::int64_t;
+
+constexpr TimeMs kMsPerSecond = 1000;
+constexpr TimeMs kMsPerMinute = 60 * kMsPerSecond;
+constexpr TimeMs kMsPerHour = 60 * kMsPerMinute;
+constexpr TimeMs kMsPerDay = 24 * kMsPerHour;
+
+constexpr UnixSeconds to_seconds(TimeMs t) noexcept { return t / kMsPerSecond; }
+constexpr TimeMs from_seconds(UnixSeconds s) noexcept {
+  return s * kMsPerSecond;
+}
+
+}  // namespace ritm

@@ -1,0 +1,209 @@
+#include "crypto/ed25519_fe.hpp"
+
+namespace ritm::crypto::detail {
+
+namespace {
+using u64 = std::uint64_t;
+__extension__ using u128 = unsigned __int128;  // NOLINT: GCC/Clang extension, required width
+
+constexpr u64 kMask51 = (u64(1) << 51) - 1;
+
+// Carry-propagates so that all limbs are < 2^51 (top carry folds via *19).
+Fe carry(const Fe& in) noexcept {
+  u64 t0 = in.v[0], t1 = in.v[1], t2 = in.v[2], t3 = in.v[3], t4 = in.v[4];
+  u64 c;
+  c = t0 >> 51; t0 &= kMask51; t1 += c;
+  c = t1 >> 51; t1 &= kMask51; t2 += c;
+  c = t2 >> 51; t2 &= kMask51; t3 += c;
+  c = t3 >> 51; t3 &= kMask51; t4 += c;
+  c = t4 >> 51; t4 &= kMask51; t0 += 19 * c;
+  c = t0 >> 51; t0 &= kMask51; t1 += c;
+  return Fe{{t0, t1, t2, t3, t4}};
+}
+}  // namespace
+
+Fe fe_from_u64(std::uint64_t x) noexcept {
+  return carry(Fe{{x, 0, 0, 0, 0}});
+}
+
+Fe fe_from_bytes(const std::uint8_t* in) noexcept {
+  auto load64 = [&](int off) {
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) v = v << 8 | in[off + i];
+    return v;
+  };
+  Fe h;
+  h.v[0] = load64(0) & kMask51;
+  h.v[1] = (load64(6) >> 3) & kMask51;
+  h.v[2] = (load64(12) >> 6) & kMask51;
+  h.v[3] = (load64(19) >> 1) & kMask51;
+  h.v[4] = (load64(24) >> 12) & kMask51;
+  return h;
+}
+
+void fe_to_bytes(std::uint8_t* out, const Fe& a) noexcept {
+  Fe t = carry(carry(a));
+  // Compute q = 1 iff t >= p, then add 19*q and drop bit 255 — this maps
+  // values in [p, 2^255) back to [0, 2^255-19) canonically.
+  u64 q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;
+  t.v[0] += 19 * q;
+  u64 c;
+  c = t.v[0] >> 51; t.v[0] &= kMask51; t.v[1] += c;
+  c = t.v[1] >> 51; t.v[1] &= kMask51; t.v[2] += c;
+  c = t.v[2] >> 51; t.v[2] &= kMask51; t.v[3] += c;
+  c = t.v[3] >> 51; t.v[3] &= kMask51; t.v[4] += c;
+  t.v[4] &= kMask51;
+
+  const u64 w0 = t.v[0] | (t.v[1] << 51);
+  const u64 w1 = (t.v[1] >> 13) | (t.v[2] << 38);
+  const u64 w2 = (t.v[2] >> 26) | (t.v[3] << 25);
+  const u64 w3 = (t.v[3] >> 39) | (t.v[4] << 12);
+  const u64 words[4] = {w0, w1, w2, w3};
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + b] = static_cast<std::uint8_t>(words[i] >> (8 * b));
+    }
+  }
+}
+
+Fe fe_add(const Fe& a, const Fe& b) noexcept {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return carry(r);
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) noexcept {
+  // Add 2p (in limb form) before subtracting so limbs never underflow;
+  // assumes inputs are loosely reduced (limbs < 2^52).
+  constexpr u64 kTwoP0 = 0xFFFFFFFFFFFDA;  // 2*(2^51-19)
+  constexpr u64 kTwoPi = 0xFFFFFFFFFFFFE;  // 2*(2^51-1)
+  Fe r;
+  r.v[0] = a.v[0] + kTwoP0 - b.v[0];
+  for (int i = 1; i < 5; ++i) r.v[i] = a.v[i] + kTwoPi - b.v[i];
+  return carry(r);
+}
+
+Fe fe_neg(const Fe& a) noexcept { return fe_sub(fe_zero(), a); }
+
+Fe fe_mul(const Fe& a, const Fe& b) noexcept {
+  const u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 r0 = u128(a0) * b0 + u128(a1) * b4_19 + u128(a2) * b3_19 +
+            u128(a3) * b2_19 + u128(a4) * b1_19;
+  u128 r1 = u128(a0) * b1 + u128(a1) * b0 + u128(a2) * b4_19 +
+            u128(a3) * b3_19 + u128(a4) * b2_19;
+  u128 r2 = u128(a0) * b2 + u128(a1) * b1 + u128(a2) * b0 +
+            u128(a3) * b4_19 + u128(a4) * b3_19;
+  u128 r3 = u128(a0) * b3 + u128(a1) * b2 + u128(a2) * b1 + u128(a3) * b0 +
+            u128(a4) * b4_19;
+  u128 r4 = u128(a0) * b4 + u128(a1) * b3 + u128(a2) * b2 + u128(a3) * b1 +
+            u128(a4) * b0;
+
+  Fe out;
+  u64 c;
+  out.v[0] = u64(r0) & kMask51; c = u64(r0 >> 51);
+  r1 += c;
+  out.v[1] = u64(r1) & kMask51; c = u64(r1 >> 51);
+  r2 += c;
+  out.v[2] = u64(r2) & kMask51; c = u64(r2 >> 51);
+  r3 += c;
+  out.v[3] = u64(r3) & kMask51; c = u64(r3 >> 51);
+  r4 += c;
+  out.v[4] = u64(r4) & kMask51; c = u64(r4 >> 51);
+  out.v[0] += 19 * c;
+  c = out.v[0] >> 51; out.v[0] &= kMask51; out.v[1] += c;
+  return out;
+}
+
+Fe fe_sq(const Fe& a) noexcept { return fe_mul(a, a); }
+
+Fe fe_pow(const Fe& base, const std::array<std::uint8_t, 32>& exp) noexcept {
+  // MSB-first square-and-multiply; variable time (see header).
+  Fe r = fe_one();
+  bool started = false;
+  for (int byte = 31; byte >= 0; --byte) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if (started) r = fe_sq(r);
+      if ((exp[static_cast<std::size_t>(byte)] >> bit) & 1) {
+        if (started) {
+          r = fe_mul(r, base);
+        } else {
+          r = base;
+          started = true;
+        }
+      } else if (started) {
+        // nothing: square already applied
+      }
+    }
+  }
+  return r;
+}
+
+namespace {
+// p - 2 = 2^255 - 21, little-endian.
+constexpr std::array<std::uint8_t, 32> kPMinus2 = {
+    0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f};
+// (p - 5) / 8 = 2^252 - 3, little-endian.
+constexpr std::array<std::uint8_t, 32> kP58 = {
+    0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f};
+// (p - 1) / 4 = 2^253 - 5, little-endian.
+constexpr std::array<std::uint8_t, 32> kP14 = {
+    0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f};
+}  // namespace
+
+Fe fe_invert(const Fe& a) noexcept { return fe_pow(a, kPMinus2); }
+
+Fe fe_pow22523(const Fe& a) noexcept { return fe_pow(a, kP58); }
+
+bool fe_is_zero(const Fe& a) noexcept {
+  std::uint8_t b[32];
+  fe_to_bytes(b, a);
+  std::uint8_t acc = 0;
+  for (auto x : b) acc |= x;
+  return acc == 0;
+}
+
+bool fe_is_negative(const Fe& a) noexcept {
+  std::uint8_t b[32];
+  fe_to_bytes(b, a);
+  return (b[0] & 1) != 0;
+}
+
+bool fe_equal(const Fe& a, const Fe& b) noexcept {
+  std::uint8_t ba[32], bb[32];
+  fe_to_bytes(ba, a);
+  fe_to_bytes(bb, b);
+  std::uint8_t acc = 0;
+  for (int i = 0; i < 32; ++i) acc |= ba[i] ^ bb[i];
+  return acc == 0;
+}
+
+const Fe& fe_sqrtm1() noexcept {
+  static const Fe v = fe_pow(fe_from_u64(2), kP14);
+  return v;
+}
+
+const Fe& fe_d() noexcept {
+  static const Fe v =
+      fe_mul(fe_neg(fe_from_u64(121665)), fe_invert(fe_from_u64(121666)));
+  return v;
+}
+
+const Fe& fe_2d() noexcept {
+  static const Fe v = fe_add(fe_d(), fe_d());
+  return v;
+}
+
+}  // namespace ritm::crypto::detail

@@ -1,0 +1,63 @@
+// Arithmetic in GF(2^255 - 19), the base field of Curve25519/edwards25519.
+//
+// Representation: five 51-bit limbs in 64-bit words (radix 2^51), the classic
+// "donna-64" layout; products accumulate in unsigned __int128. Stored
+// elements keep limbs below ~2^52 ("loosely reduced"); to_bytes() performs
+// the full canonical reduction.
+//
+// This implementation favours clarity and auditability over side-channel
+// hardening: exponentiation ladders are variable-time (documented in the
+// README; the simulator never handles real long-term secrets).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ritm::crypto::detail {
+
+struct Fe {
+  std::uint64_t v[5];
+};
+
+constexpr Fe fe_zero() noexcept { return Fe{{0, 0, 0, 0, 0}}; }
+constexpr Fe fe_one() noexcept { return Fe{{1, 0, 0, 0, 0}}; }
+
+Fe fe_from_u64(std::uint64_t x) noexcept;
+
+/// Little-endian 32 bytes -> field element (high bit of byte 31 ignored,
+/// per RFC 8032 point decoding).
+Fe fe_from_bytes(const std::uint8_t* in) noexcept;
+
+/// Canonical little-endian encoding (fully reduced mod p).
+void fe_to_bytes(std::uint8_t* out, const Fe& a) noexcept;
+
+Fe fe_add(const Fe& a, const Fe& b) noexcept;
+Fe fe_sub(const Fe& a, const Fe& b) noexcept;
+Fe fe_neg(const Fe& a) noexcept;
+Fe fe_mul(const Fe& a, const Fe& b) noexcept;
+Fe fe_sq(const Fe& a) noexcept;
+
+/// a^-1 via Fermat (a^(p-2)). a must be nonzero (returns 0 for 0).
+Fe fe_invert(const Fe& a) noexcept;
+
+/// a^((p-5)/8), used for square roots during point decompression.
+Fe fe_pow22523(const Fe& a) noexcept;
+
+/// Generic variable-time exponentiation; exponent is 32 little-endian bytes.
+Fe fe_pow(const Fe& base, const std::array<std::uint8_t, 32>& exp) noexcept;
+
+bool fe_is_zero(const Fe& a) noexcept;
+/// Least significant bit of the canonical encoding ("sign" of x).
+bool fe_is_negative(const Fe& a) noexcept;
+bool fe_equal(const Fe& a, const Fe& b) noexcept;
+
+/// sqrt(-1) = 2^((p-1)/4), computed once.
+const Fe& fe_sqrtm1() noexcept;
+/// Edwards curve constant d = -121665/121666.
+const Fe& fe_d() noexcept;
+/// 2*d.
+const Fe& fe_2d() noexcept;
+
+}  // namespace ritm::crypto::detail

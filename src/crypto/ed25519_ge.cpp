@@ -1,0 +1,118 @@
+#include "crypto/ed25519_ge.hpp"
+
+namespace ritm::crypto::detail {
+
+Ge ge_identity() noexcept {
+  return Ge{fe_zero(), fe_one(), fe_one(), fe_zero()};
+}
+
+Ge ge_add(const Ge& p, const Ge& q) noexcept {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const Fe c = fe_mul(fe_mul(p.t, fe_2d()), q.t);
+  const Fe d = fe_mul(fe_add(p.z, p.z), q.z);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_double(const Ge& p) noexcept {
+  const Fe a = fe_sq(p.x);
+  const Fe b = fe_sq(p.y);
+  const Fe c = fe_add(fe_sq(p.z), fe_sq(p.z));
+  const Fe h = fe_add(a, b);
+  const Fe e = fe_sub(h, fe_sq(fe_add(p.x, p.y)));
+  const Fe g = fe_sub(a, b);
+  const Fe f = fe_add(c, g);
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_neg(const Ge& p) noexcept {
+  return Ge{fe_neg(p.x), p.y, p.z, fe_neg(p.t)};
+}
+
+Ge ge_scalarmult(const Ge& p,
+                 const std::array<std::uint8_t, 32>& scalar) noexcept {
+  // Fixed-window (4-bit) double-and-add: 256 doublings plus at most 64
+  // table additions. Variable-time (see the module header).
+  Ge table[16];
+  table[0] = ge_identity();
+  table[1] = p;
+  for (int i = 2; i < 16; ++i) table[i] = ge_add(table[i - 1], p);
+
+  Ge r = ge_identity();
+  for (int nibble = 63; nibble >= 0; --nibble) {
+    r = ge_double(ge_double(ge_double(ge_double(r))));
+    const std::uint8_t byte = scalar[static_cast<std::size_t>(nibble / 2)];
+    const std::uint8_t v = (nibble & 1) ? (byte >> 4) : (byte & 0x0F);
+    if (v != 0) r = ge_add(r, table[v]);
+  }
+  return r;
+}
+
+std::array<std::uint8_t, 32> ge_to_bytes(const Ge& p) noexcept {
+  const Fe zinv = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zinv);
+  const Fe y = fe_mul(p.y, zinv);
+  std::array<std::uint8_t, 32> out;
+  fe_to_bytes(out.data(), y);
+  if (fe_is_negative(x)) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<Ge> ge_from_bytes(
+    const std::array<std::uint8_t, 32>& s) noexcept {
+  const bool sign = (s[31] & 0x80) != 0;
+  const Fe y = fe_from_bytes(s.data());
+
+  // Recover x from x^2 = (y^2 - 1) / (d*y^2 + 1).
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());
+  const Fe v = fe_add(fe_mul(fe_d(), y2), fe_one());
+
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow22523(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (!fe_equal(vx2, u)) {
+    if (fe_equal(vx2, fe_neg(u))) {
+      x = fe_mul(x, fe_sqrtm1());
+    } else {
+      return std::nullopt;  // not a point on the curve
+    }
+  }
+  if (fe_is_zero(x) && sign) {
+    return std::nullopt;  // -0 is not a valid encoding
+  }
+  if (fe_is_negative(x) != sign) x = fe_neg(x);
+
+  Ge p;
+  p.x = x;
+  p.y = y;
+  p.z = fe_one();
+  p.t = fe_mul(x, y);
+  return p;
+}
+
+const Ge& ge_base() noexcept {
+  static const Ge b = [] {
+    std::array<std::uint8_t, 32> enc{};
+    enc[0] = 0x58;
+    for (int i = 1; i < 32; ++i) enc[static_cast<std::size_t>(i)] = 0x66;
+    auto p = ge_from_bytes(enc);
+    return *p;  // the canonical base-point encoding always decompresses
+  }();
+  return b;
+}
+
+bool ge_equal(const Ge& p, const Ge& q) noexcept {
+  // Cross-multiply to avoid inversions: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+  return fe_equal(fe_mul(p.x, q.z), fe_mul(q.x, p.z)) &&
+         fe_equal(fe_mul(p.y, q.z), fe_mul(q.y, p.z));
+}
+
+}  // namespace ritm::crypto::detail

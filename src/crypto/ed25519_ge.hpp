@@ -1,0 +1,42 @@
+// Group arithmetic on edwards25519 in extended homogeneous coordinates
+// (X : Y : Z : T) with x = X/Z, y = Y/Z, x*y = T/Z.
+//
+// Formulas follow the "add-2008-hwcd-3" / "dbl-2008-hwcd" complete addition
+// laws (Hisil–Wong–Carter–Dawson), so addition is correct for all inputs
+// including doubling and the identity.
+#pragma once
+
+#include <optional>
+
+#include "crypto/ed25519_fe.hpp"
+
+namespace ritm::crypto::detail {
+
+struct Ge {
+  Fe x, y, z, t;
+};
+
+/// Identity element (0, 1).
+Ge ge_identity() noexcept;
+
+/// Base point B (y = 4/5, x positive), decompressed from its canonical
+/// encoding once.
+const Ge& ge_base() noexcept;
+
+Ge ge_add(const Ge& p, const Ge& q) noexcept;
+Ge ge_double(const Ge& p) noexcept;
+Ge ge_neg(const Ge& p) noexcept;
+
+/// Variable-time scalar multiplication, scalar as 32 little-endian bytes.
+Ge ge_scalarmult(const Ge& p, const std::array<std::uint8_t, 32>& scalar) noexcept;
+
+/// Compressed 32-byte encoding: y with the sign of x in the top bit.
+std::array<std::uint8_t, 32> ge_to_bytes(const Ge& p) noexcept;
+
+/// Decompression per RFC 8032 §5.1.3; rejects non-curve points.
+std::optional<Ge> ge_from_bytes(const std::array<std::uint8_t, 32>& s) noexcept;
+
+/// True if both points represent the same affine point.
+bool ge_equal(const Ge& p, const Ge& q) noexcept;
+
+}  // namespace ritm::crypto::detail

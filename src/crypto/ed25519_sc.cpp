@@ -1,0 +1,142 @@
+#include "crypto/ed25519_sc.hpp"
+
+namespace ritm::crypto::detail {
+
+namespace {
+using u64 = std::uint64_t;
+__extension__ using u128 = unsigned __int128;  // NOLINT: GCC/Clang extension, required width
+
+// 512-bit little-endian word array.
+struct U512 {
+  u64 w[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+};
+
+// L as four 64-bit little-endian words.
+constexpr u64 kL[4] = {0x5812631A5CF5D3EDULL, 0x14DEF9DEA2F79CD6ULL,
+                       0x0000000000000000ULL, 0x1000000000000000ULL};
+
+U512 from_bytes(const std::uint8_t* in, std::size_t n) noexcept {
+  U512 x;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.w[i / 8] |= u64(in[i]) << (8 * (i % 8));
+  }
+  return x;
+}
+
+// Compares the low 4 words of x (x.w[4..7] assumed zero) against L.
+// Returns true if x >= L.
+bool ge_l(const U512& x) noexcept {
+  for (int i = 7; i >= 4; --i) {
+    if (x.w[i] != 0) return true;
+  }
+  for (int i = 3; i >= 0; --i) {
+    if (x.w[i] != kL[i]) return x.w[i] > kL[i];
+  }
+  return true;  // equal
+}
+
+void sub_l(U512& x) noexcept {
+  u128 borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u64 li = i < 4 ? kL[i] : 0;
+    u128 d = u128(x.w[i]) - li - borrow;
+    x.w[i] = u64(d);
+    borrow = (d >> 64) & 1;  // 1 if underflowed
+  }
+}
+
+int top_bit(const U512& x) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    if (x.w[i] != 0) {
+      int b = 63;
+      while (!((x.w[i] >> b) & 1)) --b;
+      return 64 * i + b;
+    }
+  }
+  return -1;
+}
+
+bool bit(const U512& x, int i) noexcept {
+  return (x.w[i / 64] >> (i % 64)) & 1;
+}
+
+// x mod L via binary long division: build the remainder MSB-first,
+// subtracting L whenever it would exceed it.
+Scalar mod_l(const U512& x) noexcept {
+  U512 r;
+  const int hi = top_bit(x);
+  for (int i = hi; i >= 0; --i) {
+    // r = (r << 1) | bit(x, i)
+    u64 carry = bit(x, i) ? 1 : 0;
+    for (int j = 0; j < 8; ++j) {
+      const u64 next_carry = r.w[j] >> 63;
+      r.w[j] = (r.w[j] << 1) | carry;
+      carry = next_carry;
+    }
+    if (ge_l(r)) sub_l(r);
+  }
+  Scalar out{};
+  for (int i = 0; i < 32; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(r.w[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+// Schoolbook 256x256 -> 512 multiply.
+U512 mul256(const Scalar& a, const Scalar& b) noexcept {
+  u64 aw[4] = {}, bw[4] = {};
+  for (int i = 0; i < 32; ++i) {
+    aw[i / 8] |= u64(a[static_cast<std::size_t>(i)]) << (8 * (i % 8));
+    bw[i / 8] |= u64(b[static_cast<std::size_t>(i)]) << (8 * (i % 8));
+  }
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = u128(aw[i]) * bw[j] + r.w[i + j] + carry;
+      r.w[i + j] = u64(cur);
+      carry = cur >> 64;
+    }
+    r.w[i + 4] = u64(carry);
+  }
+  return r;
+}
+
+void add_bytes(U512& x, const Scalar& c) noexcept {
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    u64 cw = 0;
+    if (i < 4) {
+      for (int b = 0; b < 8; ++b) {
+        cw |= u64(c[static_cast<std::size_t>(8 * i + b)]) << (8 * b);
+      }
+    }
+    u128 cur = u128(x.w[i]) + cw + carry;
+    x.w[i] = u64(cur);
+    carry = cur >> 64;
+  }
+  // carry out of 512 bits cannot occur: product < L^2 << 2^512.
+}
+}  // namespace
+
+Scalar sc_reduce64(const std::array<std::uint8_t, 64>& in) noexcept {
+  return mod_l(from_bytes(in.data(), 64));
+}
+
+Scalar sc_reduce32(const Scalar& in) noexcept {
+  return mod_l(from_bytes(in.data(), 32));
+}
+
+Scalar sc_muladd(const Scalar& a, const Scalar& b, const Scalar& c) noexcept {
+  U512 prod = mul256(a, b);
+  add_bytes(prod, c);
+  return mod_l(prod);
+}
+
+bool sc_is_canonical(const Scalar& s) noexcept {
+  const U512 x = from_bytes(s.data(), 32);
+  return !ge_l(x);
+}
+
+}  // namespace ritm::crypto::detail

@@ -1,0 +1,35 @@
+#include "crypto/hash_chain.hpp"
+
+#include <stdexcept>
+
+namespace ritm::crypto {
+
+HashChain::HashChain(const Digest20& v, std::size_t m) {
+  if (m == 0) throw std::invalid_argument("HashChain: m must be >= 1");
+  links_.reserve(m + 1);
+  links_.push_back(v);
+  for (std::size_t i = 0; i < m; ++i) {
+    links_.push_back(hash20(ByteSpan(links_.back().data(), links_.back().size())));
+  }
+}
+
+const Digest20& HashChain::statement(std::size_t p) const {
+  if (p > length()) {
+    throw std::out_of_range("HashChain::statement: period beyond chain");
+  }
+  return links_[links_.size() - 1 - p];
+}
+
+Digest20 HashChain::advance(Digest20 value, std::size_t steps) noexcept {
+  for (std::size_t i = 0; i < steps; ++i) {
+    value = hash20(ByteSpan(value.data(), value.size()));
+  }
+  return value;
+}
+
+bool HashChain::verify(const Digest20& statement, std::size_t steps,
+                       const Digest20& anchor) noexcept {
+  return advance(statement, steps) == anchor;
+}
+
+}  // namespace ritm::crypto

@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), plus the 20-byte truncated digest that RITM uses as
+// its tree/leaf hash (the paper §VI: "We used the SHA-256 hash function, but
+// we truncated its output to the first 20 bytes").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ritm::crypto {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+  void update(ByteSpan data) noexcept;
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Sha256Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteSpan data) noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t state_[8];
+  std::uint64_t length_ = 0;  // total bytes absorbed
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+/// RITM's 20-byte hash: SHA-256 truncated to its first 20 bytes.
+using Digest20 = std::array<std::uint8_t, 20>;
+
+Digest20 hash20(ByteSpan data) noexcept;
+
+/// Hash of the concatenation of two 20-byte digests (Merkle inner node).
+Digest20 hash20_pair(const Digest20& left, const Digest20& right) noexcept;
+
+}  // namespace ritm::crypto

@@ -1,0 +1,31 @@
+// SHA-512 (FIPS 180-4). Required internally by Ed25519 (RFC 8032 hashes the
+// secret seed and the signature transcript with SHA-512).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ritm::crypto {
+
+using Sha512Digest = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512() noexcept;
+  void update(ByteSpan data) noexcept;
+  Sha512Digest finish() noexcept;
+
+  static Sha512Digest hash(ByteSpan data) noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint64_t state_[8];
+  std::uint64_t length_ = 0;  // total bytes absorbed (< 2^61 supported)
+  std::uint8_t buf_[128];
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace ritm::crypto

@@ -1,0 +1,199 @@
+#include "dict/dictionary.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <stdexcept>
+
+namespace ritm::dict {
+
+namespace {
+int cmp_serial(const cert::SerialNumber& a, const cert::SerialNumber& b) {
+  return ritm::compare(ByteSpan(a.value), ByteSpan(b.value));
+}
+}  // namespace
+
+const crypto::Digest20& Dictionary::root() const {
+  if (log_.empty()) return empty_root();
+  rebuild();
+  return levels_.back()[0];
+}
+
+std::size_t Dictionary::lower_bound(const cert::SerialNumber& s) const {
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), s,
+      [&](std::uint32_t idx, const cert::SerialNumber& key) {
+        return cmp_serial(log_[idx].serial, key) < 0;
+      });
+  return static_cast<std::size_t>(it - sorted_.begin());
+}
+
+bool Dictionary::contains(const cert::SerialNumber& serial) const {
+  const std::size_t pos = lower_bound(serial);
+  return pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, serial) == 0;
+}
+
+std::optional<std::uint64_t> Dictionary::number_of(
+    const cert::SerialNumber& serial) const {
+  const std::size_t pos = lower_bound(serial);
+  if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, serial) == 0) {
+    return at_sorted(pos).number;
+  }
+  return std::nullopt;
+}
+
+std::vector<Entry> Dictionary::insert(
+    const std::vector<cert::SerialNumber>& serials) {
+  std::vector<Entry> added;
+
+  // Small batches: in-place sorted insertion, O(batch * n) moves.
+  // Large batches (Heartbleed-scale): append everything, then one re-sort.
+  constexpr std::size_t kBatchThreshold = 64;
+
+  if (serials.size() <= kBatchThreshold) {
+    for (const auto& s : serials) {
+      if (s.value.empty() || s.value.size() > cert::kMaxSerialBytes) {
+        throw std::invalid_argument("Dictionary::insert: bad serial length");
+      }
+      const std::size_t pos = lower_bound(s);
+      if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, s) == 0) {
+        continue;  // already revoked; idempotent
+      }
+      Entry e{s, log_.size() + 1};
+      log_.push_back(e);
+      sorted_.insert(sorted_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     static_cast<std::uint32_t>(log_.size() - 1));
+      added.push_back(std::move(e));
+    }
+  } else {
+    std::unordered_set<std::string> batch_seen;
+    batch_seen.reserve(serials.size());
+    for (const auto& s : serials) {
+      if (s.value.empty() || s.value.size() > cert::kMaxSerialBytes) {
+        throw std::invalid_argument("Dictionary::insert: bad serial length");
+      }
+      std::string key(s.value.begin(), s.value.end());
+      if (!batch_seen.insert(std::move(key)).second) continue;
+      if (contains(s)) continue;  // lookups see only pre-batch entries
+      Entry e{s, log_.size() + 1};
+      log_.push_back(e);
+      added.push_back(std::move(e));
+    }
+    if (!added.empty()) {
+      sorted_.resize(log_.size());
+      for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        sorted_[i] = static_cast<std::uint32_t>(i);
+      }
+      std::sort(sorted_.begin(), sorted_.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return cmp_serial(log_[a].serial, log_[b].serial) < 0;
+                });
+    }
+  }
+  if (!added.empty()) tree_valid_ = false;
+  return added;
+}
+
+bool Dictionary::update(const std::vector<cert::SerialNumber>& serials,
+                        const crypto::Digest20& expected_root,
+                        std::uint64_t expected_n) {
+  const std::uint64_t old_size = size();
+  insert(serials);
+  if (size() == expected_n && root() == expected_root) return true;
+
+  // Reject and roll back: drop every entry numbered above old_size.
+  log_.resize(old_size);
+  sorted_.erase(std::remove_if(sorted_.begin(), sorted_.end(),
+                               [&](std::uint32_t idx) {
+                                 return idx >= old_size;
+                               }),
+                sorted_.end());
+  tree_valid_ = false;
+  return false;
+}
+
+void Dictionary::rebuild() const {
+  if (tree_valid_) return;
+  levels_.clear();
+  if (log_.empty()) {
+    tree_valid_ = true;
+    return;
+  }
+  std::vector<crypto::Digest20> level;
+  level.reserve(sorted_.size());
+  for (std::uint32_t idx : sorted_) level.push_back(leaf_hash(log_[idx]));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<crypto::Digest20> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(node_hash(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
+    levels_.push_back(std::move(next));
+  }
+  tree_valid_ = true;
+}
+
+LeafProof Dictionary::make_leaf_proof(std::size_t sorted_pos) const {
+  rebuild();
+  LeafProof p;
+  p.entry = at_sorted(sorted_pos);
+  p.index = sorted_pos;
+  std::size_t pos = sorted_pos;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const std::size_t sibling = pos ^ 1;
+    if (sibling < level.size()) p.path.push_back(level[sibling]);
+    pos >>= 1;
+  }
+  return p;
+}
+
+Proof Dictionary::prove(const cert::SerialNumber& serial) const {
+  Proof proof;
+  if (log_.empty()) {
+    proof.type = Proof::Type::absence;
+    return proof;
+  }
+  const std::size_t pos = lower_bound(serial);
+  if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, serial) == 0) {
+    proof.type = Proof::Type::presence;
+    proof.leaf = make_leaf_proof(pos);
+    return proof;
+  }
+  proof.type = Proof::Type::absence;
+  if (pos > 0) proof.left = make_leaf_proof(pos - 1);
+  if (pos < sorted_.size()) proof.right = make_leaf_proof(pos);
+  return proof;
+}
+
+std::vector<Entry> Dictionary::entries_from(std::uint64_t first_number) const {
+  std::vector<Entry> out;
+  if (first_number == 0) first_number = 1;
+  if (first_number > log_.size()) return out;
+  out.assign(log_.begin() + static_cast<std::ptrdiff_t>(first_number - 1),
+             log_.end());
+  return out;
+}
+
+std::size_t Dictionary::storage_bytes() const noexcept {
+  // Persisted form: per entry, 1 length byte + serial bytes + 8-byte number.
+  std::size_t total = 0;
+  for (const auto& e : log_) total += 1 + e.serial.value.size() + 8;
+  return total;
+}
+
+std::size_t Dictionary::memory_bytes() const noexcept {
+  rebuild();
+  std::size_t total = 0;
+  for (const auto& e : log_) total += sizeof(Entry) + e.serial.value.capacity();
+  total += sorted_.capacity() * sizeof(std::uint32_t);
+  for (const auto& level : levels_) {
+    total += level.capacity() * sizeof(crypto::Digest20);
+  }
+  return total;
+}
+
+}  // namespace ritm::dict

@@ -1,0 +1,77 @@
+// The authenticated dictionary of paper §III Fig. 2.
+//
+// One instance per CA. The CA owns the writable copy (insert); every RA
+// maintains a replica it updates by replaying the CA's announced serials and
+// comparing the recomputed root against the signed root (update). Both sides
+// use the same class; `update` implements the RA-side acceptance rule.
+//
+// Representation: an append-only log in revocation-number order plus a
+// sorted-by-serial index; the Merkle level array is rebuilt lazily after
+// mutations (O(n) hashing). Proof generation is O(log n).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dict/proof.hpp"
+
+namespace ritm::dict {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Number of revocations (leaves); the paper's `n`.
+  std::uint64_t size() const noexcept { return log_.size(); }
+
+  /// Current Merkle root (empty_root() when size()==0). Rebuilds if stale.
+  const crypto::Digest20& root() const;
+
+  bool contains(const cert::SerialNumber& serial) const;
+
+  /// Looks up the revocation number of a serial, if revoked.
+  std::optional<std::uint64_t> number_of(const cert::SerialNumber& serial) const;
+
+  /// CA-side insert (Fig. 2): appends each new serial with the next
+  /// consecutive number. Serials already present are skipped. Returns the
+  /// entries actually appended, in numbering order.
+  std::vector<Entry> insert(const std::vector<cert::SerialNumber>& serials);
+
+  /// RA-side update (Fig. 2): replays `serials` and accepts iff the rebuilt
+  /// root equals `expected_root` and the new size equals `expected_n`.
+  /// On mismatch the dictionary is rolled back and false is returned.
+  bool update(const std::vector<cert::SerialNumber>& serials,
+              const crypto::Digest20& expected_root, std::uint64_t expected_n);
+
+  /// Produces a presence or absence proof for `serial` (Fig. 2 prove).
+  Proof prove(const cert::SerialNumber& serial) const;
+
+  /// Entries with numbers in [first_number, n], in numbering order — the
+  /// replication stream an RA uses to resynchronize after detecting a gap
+  /// (§III "synchronization protocol").
+  std::vector<Entry> entries_from(std::uint64_t first_number) const;
+
+  /// Bytes needed to persist the raw revocation list (serials + numbers) —
+  /// the paper's "storage overhead" (§VII-D).
+  std::size_t storage_bytes() const noexcept;
+
+  /// Bytes of in-memory state including the Merkle level array — the
+  /// paper's "memory required to build and keep all dictionaries" (§VII-D).
+  std::size_t memory_bytes() const noexcept;
+
+ private:
+  void rebuild() const;
+  /// Position in sorted_ of first entry with serial >= s.
+  std::size_t lower_bound(const cert::SerialNumber& s) const;
+  LeafProof make_leaf_proof(std::size_t sorted_pos) const;
+  const Entry& at_sorted(std::size_t pos) const { return log_[sorted_[pos]]; }
+
+  std::vector<Entry> log_;            // numbering order, append-only
+  std::vector<std::uint32_t> sorted_; // indices into log_, sorted by serial
+
+  mutable std::vector<std::vector<crypto::Digest20>> levels_;
+  mutable bool tree_valid_ = false;
+};
+
+}  // namespace ritm::dict

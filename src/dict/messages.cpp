@@ -1,0 +1,178 @@
+#include "dict/messages.hpp"
+
+#include <algorithm>
+
+#include "common/io.hpp"
+
+namespace ritm::dict {
+
+namespace {
+
+void encode_serials(ByteWriter& w, const std::vector<cert::SerialNumber>& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const auto& sn : s) w.var8(ByteSpan(sn.value));
+}
+
+std::optional<std::vector<cert::SerialNumber>> decode_serials(ByteReader& r) {
+  auto count = r.try_u32();
+  if (!count) return std::nullopt;
+  std::vector<cert::SerialNumber> out;
+  // Bound the reservation by what the input could possibly hold (each
+  // serial costs at least 2 bytes) — a forged count must not trigger a
+  // huge allocation before the truncation check fails.
+  out.reserve(std::min<std::size_t>(*count, r.remaining() / 2));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto v = r.try_var8();
+    if (!v || v->empty() || v->size() > cert::kMaxSerialBytes) {
+      return std::nullopt;
+    }
+    out.push_back(cert::SerialNumber{std::move(*v)});
+  }
+  return out;
+}
+
+std::optional<crypto::Digest20> decode_digest(ByteReader& r) {
+  auto raw = r.try_raw(20);
+  if (!raw) return std::nullopt;
+  crypto::Digest20 d{};
+  std::copy(raw->begin(), raw->end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+Bytes RevocationIssuance::encode() const {
+  ByteWriter w;
+  encode_serials(w, serials);
+  w.var16(ByteSpan(signed_root.encode()));
+  return w.take();
+}
+
+std::optional<RevocationIssuance> RevocationIssuance::decode(ByteSpan data) {
+  ByteReader r{data};
+  RevocationIssuance m;
+  auto serials = decode_serials(r);
+  if (!serials) return std::nullopt;
+  m.serials = std::move(*serials);
+  auto root_bytes = r.try_var16();
+  if (!root_bytes) return std::nullopt;
+  auto root = SignedRoot::decode(ByteSpan(*root_bytes));
+  if (!root) return std::nullopt;
+  m.signed_root = std::move(*root);
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes FreshnessStatement::encode() const {
+  ByteWriter w;
+  w.var8(bytes_of(ca));
+  w.raw(ByteSpan(statement.data(), statement.size()));
+  return w.take();
+}
+
+std::optional<FreshnessStatement> FreshnessStatement::decode(ByteSpan data) {
+  ByteReader r{data};
+  FreshnessStatement m;
+  auto ca = r.try_var8();
+  if (!ca) return std::nullopt;
+  m.ca.assign(ca->begin(), ca->end());
+  auto st = decode_digest(r);
+  if (!st) return std::nullopt;
+  m.statement = *st;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes RevocationStatus::encode() const {
+  ByteWriter w;
+  w.var16(ByteSpan(proof.encode()));
+  w.var16(ByteSpan(signed_root.encode()));
+  w.raw(ByteSpan(freshness.data(), freshness.size()));
+  return w.take();
+}
+
+std::optional<RevocationStatus> RevocationStatus::decode(ByteSpan data) {
+  ByteReader r{data};
+  RevocationStatus m;
+  auto proof_bytes = r.try_var16();
+  if (!proof_bytes) return std::nullopt;
+  auto proof = Proof::decode(ByteSpan(*proof_bytes));
+  if (!proof) return std::nullopt;
+  m.proof = std::move(*proof);
+  auto root_bytes = r.try_var16();
+  if (!root_bytes) return std::nullopt;
+  auto root = SignedRoot::decode(ByteSpan(*root_bytes));
+  if (!root) return std::nullopt;
+  m.signed_root = std::move(*root);
+  auto fresh = decode_digest(r);
+  if (!fresh) return std::nullopt;
+  m.freshness = *fresh;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes SyncRequest::encode() const {
+  ByteWriter w;
+  w.var8(bytes_of(ca));
+  w.u64(have_n);
+  return w.take();
+}
+
+std::optional<SyncRequest> SyncRequest::decode(ByteSpan data) {
+  ByteReader r{data};
+  SyncRequest m;
+  auto ca = r.try_var8();
+  if (!ca) return std::nullopt;
+  m.ca.assign(ca->begin(), ca->end());
+  auto n = r.try_u64();
+  if (!n) return std::nullopt;
+  m.have_n = *n;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes SyncResponse::encode() const {
+  ByteWriter w;
+  w.var8(bytes_of(ca));
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.var8(ByteSpan(e.serial.value));
+    w.u64(e.number);
+  }
+  w.var16(ByteSpan(signed_root.encode()));
+  w.raw(ByteSpan(freshness.data(), freshness.size()));
+  return w.take();
+}
+
+std::optional<SyncResponse> SyncResponse::decode(ByteSpan data) {
+  ByteReader r{data};
+  SyncResponse m;
+  auto ca = r.try_var8();
+  if (!ca) return std::nullopt;
+  m.ca.assign(ca->begin(), ca->end());
+  auto count = r.try_u32();
+  if (!count) return std::nullopt;
+  // Each entry costs at least 10 bytes on the wire; bound the reservation.
+  m.entries.reserve(std::min<std::size_t>(*count, r.remaining() / 10));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto serial = r.try_var8();
+    if (!serial || serial->empty() || serial->size() > cert::kMaxSerialBytes) {
+      return std::nullopt;
+    }
+    auto number = r.try_u64();
+    if (!number) return std::nullopt;
+    m.entries.push_back(Entry{cert::SerialNumber{std::move(*serial)}, *number});
+  }
+  auto root_bytes = r.try_var16();
+  if (!root_bytes) return std::nullopt;
+  auto root = SignedRoot::decode(ByteSpan(*root_bytes));
+  if (!root) return std::nullopt;
+  m.signed_root = std::move(*root);
+  auto fresh = decode_digest(r);
+  if (!fresh) return std::nullopt;
+  m.freshness = *fresh;
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace ritm::dict

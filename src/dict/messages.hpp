@@ -1,0 +1,84 @@
+// Wire messages of the RITM protocol:
+//
+//  * RevocationIssuance — CA → CDN → RA: revoked serial(s) + new signed root
+//    (paper Tab. I, rows at t0 and t0+3∆).
+//  * FreshnessStatement — CA → CDN → RA: the hash-chain preimage H^(m-p)(v)
+//    for a period with no new revocations (Tab. I, rows at t0+∆, t0+2∆).
+//  * RevocationStatus — RA → client: proof + signed root + freshness
+//    statement (paper Eq. (3)), appended to TLS traffic.
+//  * SyncRequest/SyncResponse — RA ↔ edge server: resynchronization after a
+//    detected gap ("the RA contacts an edge server specifying the number of
+//    valid consecutive revocations it has observed").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dict/proof.hpp"
+#include "dict/signed_root.hpp"
+
+namespace ritm::dict {
+
+struct RevocationIssuance {
+  std::vector<cert::SerialNumber> serials;  // newly revoked, numbering order
+  SignedRoot signed_root;
+
+  Bytes encode() const;
+  static std::optional<RevocationIssuance> decode(ByteSpan data);
+
+  bool operator==(const RevocationIssuance&) const = default;
+};
+
+struct FreshnessStatement {
+  cert::CaId ca;
+  crypto::Digest20 statement{};  // H^(m-p)(v)
+
+  Bytes encode() const;
+  static std::optional<FreshnessStatement> decode(ByteSpan data);
+
+  bool operator==(const FreshnessStatement&) const = default;
+};
+
+/// Eq. (3): what an RA delivers to the client, piggybacked on TLS traffic.
+struct RevocationStatus {
+  Proof proof;
+  SignedRoot signed_root;
+  crypto::Digest20 freshness{};  // latest freshness statement
+
+  Bytes encode() const;
+  static std::optional<RevocationStatus> decode(ByteSpan data);
+
+  /// The per-connection communication overhead the paper reports as
+  /// 500–900 bytes for the largest CRL (§VII-D).
+  std::size_t wire_size() const { return encode().size(); }
+
+  bool operator==(const RevocationStatus&) const = default;
+};
+
+/// RA → edge server: "I hold `have_n` consecutive revocations of `ca`".
+struct SyncRequest {
+  cert::CaId ca;
+  std::uint64_t have_n = 0;
+
+  Bytes encode() const;
+  static std::optional<SyncRequest> decode(ByteSpan data);
+
+  bool operator==(const SyncRequest&) const = default;
+};
+
+/// Edge server → RA: entries have_n+1..n, the latest signed root, and the
+/// latest freshness statement.
+struct SyncResponse {
+  cert::CaId ca;
+  std::vector<Entry> entries;
+  SignedRoot signed_root;
+  crypto::Digest20 freshness{};
+
+  Bytes encode() const;
+  static std::optional<SyncResponse> decode(ByteSpan data);
+
+  bool operator==(const SyncResponse&) const = default;
+};
+
+}  // namespace ritm::dict

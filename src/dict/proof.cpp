@@ -1,0 +1,192 @@
+#include "dict/proof.hpp"
+
+#include <stdexcept>
+
+#include "common/io.hpp"
+
+namespace ritm::dict {
+
+crypto::Digest20 leaf_hash(const Entry& e) noexcept {
+  // Stack-encoded 0x00 ‖ len ‖ serial ‖ number — this runs once per leaf on
+  // every tree rebuild, so it must not allocate.
+  std::uint8_t buf[2 + cert::kMaxSerialBytes + 8];
+  std::size_t off = 0;
+  buf[off++] = 0x00;
+  buf[off++] = static_cast<std::uint8_t>(e.serial.value.size());
+  for (std::uint8_t b : e.serial.value) buf[off++] = b;
+  for (int s = 56; s >= 0; s -= 8) {
+    buf[off++] = static_cast<std::uint8_t>(e.number >> s);
+  }
+  return crypto::hash20(ByteSpan(buf, off));
+}
+
+crypto::Digest20 node_hash(const crypto::Digest20& left,
+                           const crypto::Digest20& right) noexcept {
+  std::uint8_t buf[41];
+  buf[0] = 0x01;
+  std::copy(left.begin(), left.end(), buf + 1);
+  std::copy(right.begin(), right.end(), buf + 21);
+  return crypto::hash20(ByteSpan(buf, sizeof(buf)));
+}
+
+const crypto::Digest20& empty_root() noexcept {
+  static const crypto::Digest20 r = [] {
+    ByteWriter w;
+    w.u8(0x02);
+    w.raw(bytes_of("RITM-EMPTY"));
+    return crypto::hash20(ByteSpan(w.bytes()));
+  }();
+  return r;
+}
+
+std::optional<crypto::Digest20> reconstruct_root(const LeafProof& proof,
+                                                 std::uint64_t leaf_count) {
+  if (leaf_count == 0 || proof.index >= leaf_count) return std::nullopt;
+  crypto::Digest20 h = leaf_hash(proof.entry);
+  std::uint64_t pos = proof.index;
+  std::uint64_t size = leaf_count;
+  std::size_t used = 0;
+  while (size > 1) {
+    const std::uint64_t sibling = pos ^ 1;
+    if (sibling < size) {
+      if (used >= proof.path.size()) return std::nullopt;
+      const crypto::Digest20& s = proof.path[used++];
+      h = (pos & 1) ? node_hash(s, h) : node_hash(h, s);
+    }
+    // When `size` is odd the last node is promoted unchanged (no sibling).
+    pos >>= 1;
+    size = (size + 1) / 2;
+  }
+  if (used != proof.path.size()) return std::nullopt;
+  return h;
+}
+
+namespace {
+
+void encode_leaf_proof(ByteWriter& w, const LeafProof& p) {
+  w.var8(ByteSpan(p.entry.serial.value));
+  w.u64(p.entry.number);
+  w.u64(p.index);
+  w.u16(static_cast<std::uint16_t>(p.path.size()));
+  for (const auto& h : p.path) w.raw(ByteSpan(h.data(), h.size()));
+}
+
+std::optional<LeafProof> decode_leaf_proof(ByteReader& r) {
+  LeafProof p;
+  auto serial = r.try_var8();
+  if (!serial || serial->empty() || serial->size() > cert::kMaxSerialBytes) {
+    return std::nullopt;
+  }
+  p.entry.serial.value = std::move(*serial);
+  auto number = r.try_u64();
+  auto index = r.try_u64();
+  auto steps = number && index ? r.try_u16() : std::nullopt;
+  if (!steps) return std::nullopt;
+  p.entry.number = *number;
+  p.index = *index;
+  p.path.reserve(*steps);
+  for (std::uint16_t i = 0; i < *steps; ++i) {
+    auto raw = r.try_raw(20);
+    if (!raw) return std::nullopt;
+    crypto::Digest20 d{};
+    std::copy(raw->begin(), raw->end(), d.begin());
+    p.path.push_back(d);
+  }
+  return p;
+}
+
+}  // namespace
+
+Bytes Proof::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  if (type == Type::presence) {
+    if (!leaf) throw std::logic_error("presence proof without leaf");
+    encode_leaf_proof(w, *leaf);
+  } else {
+    std::uint8_t flags = 0;
+    if (left) flags |= 1;
+    if (right) flags |= 2;
+    w.u8(flags);
+    if (left) encode_leaf_proof(w, *left);
+    if (right) encode_leaf_proof(w, *right);
+  }
+  return w.take();
+}
+
+std::optional<Proof> Proof::decode(ByteSpan data) {
+  ByteReader r{data};
+  auto type_byte = r.try_u8();
+  if (!type_byte || *type_byte > 1) return std::nullopt;
+  Proof p;
+  p.type = static_cast<Type>(*type_byte);
+  if (p.type == Type::presence) {
+    auto lp = decode_leaf_proof(r);
+    if (!lp) return std::nullopt;
+    p.leaf = std::move(*lp);
+  } else {
+    auto flags = r.try_u8();
+    if (!flags || *flags > 3) return std::nullopt;
+    if (*flags & 1) {
+      auto lp = decode_leaf_proof(r);
+      if (!lp) return std::nullopt;
+      p.left = std::move(*lp);
+    }
+    if (*flags & 2) {
+      auto lp = decode_leaf_proof(r);
+      if (!lp) return std::nullopt;
+      p.right = std::move(*lp);
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return p;
+}
+
+bool verify_proof(const Proof& proof, const cert::SerialNumber& serial,
+                  const crypto::Digest20& root, std::uint64_t n) {
+  const auto cmp = [](const cert::SerialNumber& a, const cert::SerialNumber& b) {
+    return ritm::compare(ByteSpan(a.value), ByteSpan(b.value));
+  };
+
+  if (proof.type == Proof::Type::presence) {
+    if (!proof.leaf || proof.left || proof.right) return false;
+    if (cmp(proof.leaf->entry.serial, serial) != 0) return false;
+    if (proof.leaf->entry.number == 0 || proof.leaf->entry.number > n) {
+      return false;
+    }
+    const auto r = reconstruct_root(*proof.leaf, n);
+    return r && *r == root;
+  }
+
+  // Absence.
+  if (proof.leaf) return false;
+  if (n == 0) {
+    // Empty dictionary: nothing can be present; no neighbours to show.
+    return !proof.left && !proof.right && root == empty_root();
+  }
+  if (proof.left && proof.right) {
+    if (proof.left->index + 1 != proof.right->index) return false;
+    if (cmp(proof.left->entry.serial, serial) >= 0) return false;
+    if (cmp(proof.right->entry.serial, serial) <= 0) return false;
+    const auto rl = reconstruct_root(*proof.left, n);
+    const auto rr = reconstruct_root(*proof.right, n);
+    return rl && rr && *rl == root && *rr == root;
+  }
+  if (proof.right) {
+    // Serial sorts before every leaf.
+    if (proof.right->index != 0) return false;
+    if (cmp(proof.right->entry.serial, serial) <= 0) return false;
+    const auto r = reconstruct_root(*proof.right, n);
+    return r && *r == root;
+  }
+  if (proof.left) {
+    // Serial sorts after every leaf.
+    if (proof.left->index != n - 1) return false;
+    if (cmp(proof.left->entry.serial, serial) >= 0) return false;
+    const auto r = reconstruct_root(*proof.left, n);
+    return r && *r == root;
+  }
+  return false;
+}
+
+}  // namespace ritm::dict

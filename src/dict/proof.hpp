@@ -1,0 +1,82 @@
+// Presence/absence proofs over the authenticated dictionary (paper §III).
+//
+// The dictionary is a Merkle tree whose leaves are (serial ‖ revocation
+// number), sorted lexicographically by serial. A presence proof carries one
+// leaf and its Merkle path. An absence proof carries the two lexicographic
+// neighbours of the missing serial (or one neighbour at the boundaries) and
+// proves they are adjacent leaves via their indices.
+//
+// Path encoding: sibling sides are *not* stored — they are derived from the
+// leaf index and the tree's leaf count during verification, which also
+// forces the prover to use the canonical tree shape.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ritm::dict {
+
+/// One revocation: a serial number and its position in the CA's append-only
+/// numbering (1-based; "revocations are numbered consecutively, starting
+/// from 1").
+struct Entry {
+  cert::SerialNumber serial;
+  std::uint64_t number = 0;
+
+  bool operator==(const Entry&) const = default;
+};
+
+/// Leaf hash: H(0x00 ‖ len(serial) ‖ serial ‖ number). Domain-separated from
+/// interior nodes to rule out second-preimage splices.
+crypto::Digest20 leaf_hash(const Entry& e) noexcept;
+
+/// Interior hash: H(0x01 ‖ left ‖ right).
+crypto::Digest20 node_hash(const crypto::Digest20& left,
+                           const crypto::Digest20& right) noexcept;
+
+/// Root of the empty dictionary: H(0x02 ‖ "RITM-EMPTY").
+const crypto::Digest20& empty_root() noexcept;
+
+/// A leaf plus its Merkle path to the root.
+struct LeafProof {
+  Entry entry;
+  std::uint64_t index = 0;              // position among sorted leaves
+  std::vector<crypto::Digest20> path;   // sibling hashes, leaf upward
+
+  bool operator==(const LeafProof&) const = default;
+};
+
+/// Recomputes the root a LeafProof commits to, given the tree's leaf count.
+/// Returns nullopt if the path length is inconsistent with (index, count).
+std::optional<crypto::Digest20> reconstruct_root(const LeafProof& proof,
+                                                 std::uint64_t leaf_count);
+
+struct Proof {
+  enum class Type : std::uint8_t { presence = 0, absence = 1 };
+
+  Type type = Type::absence;
+  std::optional<LeafProof> leaf;   // presence
+  std::optional<LeafProof> left;   // absence: greatest leaf < serial
+  std::optional<LeafProof> right;  // absence: smallest leaf > serial
+
+  Bytes encode() const;
+  static std::optional<Proof> decode(ByteSpan data);
+
+  /// Wire size in bytes (what an RA appends to TLS traffic).
+  std::size_t wire_size() const { return encode().size(); }
+
+  bool operator==(const Proof&) const = default;
+};
+
+/// Full verification of a proof for `serial` against a dictionary root and
+/// leaf count n. Checks Merkle paths, ordering, adjacency, and numbering
+/// bounds. This is what a RITM client runs in step 5b of the protocol.
+bool verify_proof(const Proof& proof, const cert::SerialNumber& serial,
+                  const crypto::Digest20& root, std::uint64_t n);
+
+}  // namespace ritm::dict

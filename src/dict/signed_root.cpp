@@ -1,0 +1,87 @@
+#include "dict/signed_root.hpp"
+
+#include "common/io.hpp"
+
+namespace ritm::dict {
+
+Bytes SignedRoot::tbs() const {
+  ByteWriter w;
+  w.raw(bytes_of("RITM-ROOT-v1"));
+  w.var8(bytes_of(ca));
+  w.raw(ByteSpan(root.data(), root.size()));
+  w.u64(n);
+  w.raw(ByteSpan(freshness_anchor.data(), freshness_anchor.size()));
+  w.u64(static_cast<std::uint64_t>(timestamp));
+  return w.take();
+}
+
+Bytes SignedRoot::encode() const {
+  ByteWriter w;
+  w.var8(bytes_of(ca));
+  w.raw(ByteSpan(root.data(), root.size()));
+  w.u64(n);
+  w.raw(ByteSpan(freshness_anchor.data(), freshness_anchor.size()));
+  w.u64(static_cast<std::uint64_t>(timestamp));
+  w.raw(ByteSpan(signature.data(), signature.size()));
+  return w.take();
+}
+
+std::optional<SignedRoot> SignedRoot::decode(ByteSpan data) {
+  ByteReader r{data};
+  SignedRoot sr;
+  auto ca = r.try_var8();
+  if (!ca) return std::nullopt;
+  sr.ca.assign(ca->begin(), ca->end());
+  auto root = r.try_raw(sr.root.size());
+  if (!root) return std::nullopt;
+  std::copy(root->begin(), root->end(), sr.root.begin());
+  auto n = r.try_u64();
+  if (!n) return std::nullopt;
+  sr.n = *n;
+  auto anchor = r.try_raw(sr.freshness_anchor.size());
+  if (!anchor) return std::nullopt;
+  std::copy(anchor->begin(), anchor->end(), sr.freshness_anchor.begin());
+  auto t = r.try_u64();
+  if (!t) return std::nullopt;
+  sr.timestamp = static_cast<UnixSeconds>(*t);
+  auto sig = r.try_raw(sr.signature.size());
+  if (!sig) return std::nullopt;
+  std::copy(sig->begin(), sig->end(), sr.signature.begin());
+  if (!r.done()) return std::nullopt;
+  return sr;
+}
+
+SignedRoot SignedRoot::make(cert::CaId ca, const crypto::Digest20& root,
+                            std::uint64_t n, const crypto::Digest20& anchor,
+                            UnixSeconds timestamp, const crypto::Seed& ca_key) {
+  SignedRoot sr;
+  sr.ca = std::move(ca);
+  sr.root = root;
+  sr.n = n;
+  sr.freshness_anchor = anchor;
+  sr.timestamp = timestamp;
+  const Bytes t = sr.tbs();
+  sr.signature = crypto::sign(ByteSpan(t), ca_key);
+  return sr;
+}
+
+SignedRoot SignedRoot::make(cert::CaId ca, const crypto::Digest20& root,
+                            std::uint64_t n, const crypto::Digest20& anchor,
+                            UnixSeconds timestamp, const crypto::KeyPair& kp) {
+  SignedRoot sr;
+  sr.ca = std::move(ca);
+  sr.root = root;
+  sr.n = n;
+  sr.freshness_anchor = anchor;
+  sr.timestamp = timestamp;
+  const Bytes t = sr.tbs();
+  sr.signature = crypto::sign(ByteSpan(t), kp.seed, kp.public_key);
+  return sr;
+}
+
+bool SignedRoot::verify(const crypto::PublicKey& ca_key) const {
+  const Bytes t = tbs();
+  return crypto::verify(ByteSpan(t), signature, ca_key);
+}
+
+}  // namespace ritm::dict

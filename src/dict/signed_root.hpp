@@ -1,0 +1,47 @@
+// The CA's signed root (paper Eq. (1)): {root, n, H^m(v), t} signed with the
+// CA's Ed25519 key. A signed root uniquely commits to one version of one
+// dictionary; two different signed roots with the same n are cryptographic
+// proof of CA misbehaviour (§V "Misbehaving CA").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cert/certificate.hpp"
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ritm::dict {
+
+struct SignedRoot {
+  cert::CaId ca;
+  crypto::Digest20 root{};
+  std::uint64_t n = 0;                  // dictionary size after this update
+  crypto::Digest20 freshness_anchor{};  // H^m(v)
+  UnixSeconds timestamp = 0;            // t, when the root was signed
+  crypto::Signature signature{};
+
+  /// The signed byte string.
+  Bytes tbs() const;
+
+  Bytes encode() const;
+  static std::optional<SignedRoot> decode(ByteSpan data);
+
+  /// Builds and signs a root statement with the CA's key.
+  static SignedRoot make(cert::CaId ca, const crypto::Digest20& root,
+                         std::uint64_t n, const crypto::Digest20& anchor,
+                         UnixSeconds timestamp, const crypto::Seed& ca_key);
+
+  /// Fast path with a cached keypair (saves one scalar multiplication).
+  static SignedRoot make(cert::CaId ca, const crypto::Digest20& root,
+                         std::uint64_t n, const crypto::Digest20& anchor,
+                         UnixSeconds timestamp, const crypto::KeyPair& kp);
+
+  bool verify(const crypto::PublicKey& ca_key) const;
+
+  bool operator==(const SignedRoot&) const = default;
+};
+
+}  // namespace ritm::dict

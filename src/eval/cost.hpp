@@ -1,0 +1,77 @@
+// Cost and communication-overhead simulator (paper §VII-C, Fig. 6, Tab. II,
+// and Fig. 7).
+//
+// Model: every RA pulls the dissemination feed once per ∆. A pull carries a
+// freshness statement per dictionary, plus the revocation entries (and a
+// signed root per issuing CA) that accumulated during the period. Monthly
+// bytes are multiplied across the population-derived RA fleet per pricing
+// region and priced with the tiered CDN rate card. Message sizes default to
+// the sizes of this repo's actual wire encodings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/population.hpp"
+#include "eval/pricing.hpp"
+#include "eval/trace.hpp"
+
+namespace ritm::eval {
+
+struct CostParams {
+  double delta_seconds = 10.0;
+  double clients_per_ra = 10.0;
+  int dictionaries = 1;             // Fig. 6 prices a single CA
+  int ca_index = 0;                 // which CA's trace share to use
+  /// Wire sizes; defaults measured from the repo's encoders (see
+  /// measured_message_sizes()).
+  double freshness_bytes = 27.0;
+  double per_revocation_bytes = 6.0;
+  double signed_root_bytes = 129.0;
+  double feed_header_bytes = 6.0;
+  bool include_request_fees = false;  // paper's model prices transfer only
+  int days_per_cycle = 30;
+};
+
+/// Actual encoded sizes of the protocol messages, measured by constructing
+/// representative messages with the repo's codecs.
+struct MessageSizes {
+  double freshness_bytes;
+  double per_revocation_bytes;
+  double signed_root_bytes;
+};
+MessageSizes measured_message_sizes();
+
+class CostSimulator {
+ public:
+  CostSimulator(const RevocationTrace* trace, const Population* population,
+                PricingModel pricing);
+
+  /// Bytes one RA downloads over days [day_from, day_to) at the given ∆
+  /// (freshness keep-alives + revocation payload + signed roots).
+  double ra_bytes(const CostParams& p, int day_from, int day_to) const;
+
+  /// Number of pulls one RA performs over the same window.
+  std::uint64_t ra_pulls(const CostParams& p, int day_from, int day_to) const;
+
+  /// Monthly (billing-cycle) bills in USD over the whole trace — Fig. 6.
+  std::vector<double> monthly_bills(const CostParams& p) const;
+
+  /// Mean of monthly_bills — Tab. II entries.
+  double average_bill(const CostParams& p) const;
+
+  /// Per-pull download sizes (bytes) for each ∆-period in days
+  /// [day_from, day_to) — Fig. 7. For coarse ∆ one value per period.
+  std::vector<double> per_pull_bytes(const CostParams& p, int day_from,
+                                     int day_to) const;
+
+ private:
+  double revocations_in_window(const CostParams& p, double day_fraction_from,
+                               double day_fraction_to) const;
+
+  const RevocationTrace* trace_;
+  const Population* population_;
+  PricingModel pricing_;
+};
+
+}  // namespace ritm::eval

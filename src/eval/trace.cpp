@@ -1,0 +1,181 @@
+#include "eval/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ritm::eval {
+
+RevocationTrace::RevocationTrace(TraceConfig config)
+    : config_(config) {
+  if (config_.days <= 0 || config_.num_cas <= 0) {
+    throw std::invalid_argument("RevocationTrace: bad config");
+  }
+  Rng rng(config_.seed);
+
+  // --- Heartbleed burst shape: ramp up over ~4 days, spike for 2, decay
+  // over ~6 (Fig. 4 bottom shows the 16-17 April peak).
+  std::vector<double> burst(static_cast<std::size_t>(config_.days), 0.0);
+  double burst_weight = 0.0;
+  const int peak = config_.heartbleed_peak_day;
+  for (int day = 0; day < config_.days; ++day) {
+    const int rel = day - peak;
+    double w = 0.0;
+    if (rel >= -5 && rel < 0) w = std::exp(double(rel) * 0.9);   // ramp
+    else if (rel == 0 || rel == 1) w = 1.0;                      // peak
+    else if (rel > 1 && rel <= 8) w = std::exp(-double(rel - 1) * 0.55);
+    burst[static_cast<std::size_t>(day)] = w;
+    burst_weight += w;
+  }
+
+  // --- Baseline: weekly pattern (fewer revocations on weekends) with
+  // log-normal day-to-day noise.
+  const std::uint64_t baseline_total =
+      config_.total_revocations > config_.heartbleed_extra
+          ? config_.total_revocations - config_.heartbleed_extra
+          : config_.total_revocations;
+  std::vector<double> base(static_cast<std::size_t>(config_.days));
+  double base_weight = 0.0;
+  for (int day = 0; day < config_.days; ++day) {
+    const int dow = day % 7;  // day 0 (Wed 1 Jan 2014) — pattern only
+    const double weekend = (dow == 3 || dow == 4) ? 0.55 : 1.0;
+    const double noise = rng.lognormal(0.0, 0.35);
+    base[static_cast<std::size_t>(day)] = weekend * noise;
+    base_weight += base[static_cast<std::size_t>(day)];
+  }
+
+  daily_.resize(static_cast<std::size_t>(config_.days));
+  total_ = 0;
+  for (int day = 0; day < config_.days; ++day) {
+    const auto i = static_cast<std::size_t>(day);
+    const double b = base[i] / base_weight * double(baseline_total);
+    const double h = burst_weight > 0
+                         ? burst[i] / burst_weight *
+                               double(config_.heartbleed_extra)
+                         : 0.0;
+    daily_[i] = static_cast<std::uint64_t>(std::llround(b + h));
+    total_ += daily_[i];
+  }
+
+  // --- CA weights: CA 0 is the paper's largest CRL; the rest are
+  // Zipf-distributed.
+  ca_weights_.resize(static_cast<std::size_t>(config_.num_cas));
+  if (config_.num_cas == 1) {
+    ca_weights_[0] = 1.0;
+  } else {
+    ca_weights_[0] = config_.largest_ca_share;
+    double rest = 0.0;
+    for (int i = 1; i < config_.num_cas; ++i) {
+      rest += 1.0 / double(i);
+    }
+    for (int i = 1; i < config_.num_cas; ++i) {
+      ca_weights_[static_cast<std::size_t>(i)] =
+          (1.0 - config_.largest_ca_share) * (1.0 / double(i)) / rest;
+    }
+  }
+}
+
+std::vector<std::uint64_t> RevocationTrace::hourly(int day_from,
+                                                   int day_to) const {
+  if (day_from < 0 || day_to > config_.days || day_from >= day_to) {
+    throw std::invalid_argument("RevocationTrace::hourly: bad day range");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(day_to - day_from) * 24);
+  for (int day = day_from; day < day_to; ++day) {
+    // Deterministic per-day sub-stream so any zoom window is reproducible.
+    Rng rng(config_.seed ^ (0x9E37u + static_cast<std::uint64_t>(day) * 131));
+    // Diurnal shape: activity concentrated in UTC working hours.
+    double weights[24];
+    double total_w = 0.0;
+    for (int h = 0; h < 24; ++h) {
+      const double diurnal =
+          0.4 + 0.6 * std::exp(-std::pow((h - 14.0) / 5.0, 2.0));
+      weights[h] = diurnal * rng.lognormal(0.0, 0.25);
+      total_w += weights[h];
+    }
+    const std::uint64_t day_total = daily_[static_cast<std::size_t>(day)];
+    std::uint64_t assigned = 0;
+    for (int h = 0; h < 24; ++h) {
+      std::uint64_t v;
+      if (h == 23) {
+        v = day_total - assigned;
+      } else {
+        v = static_cast<std::uint64_t>(double(day_total) * weights[h] /
+                                       total_w);
+        assigned += v;
+      }
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::uint64_t RevocationTrace::max_daily() const {
+  return *std::max_element(daily_.begin(), daily_.end());
+}
+
+int RevocationTrace::day_of_max() const {
+  return static_cast<int>(std::max_element(daily_.begin(), daily_.end()) -
+                          daily_.begin());
+}
+
+double RevocationTrace::ca_share(int ca) const {
+  return ca_weights_.at(static_cast<std::size_t>(ca));
+}
+
+std::uint64_t RevocationTrace::daily_for_ca(int day, int ca) const {
+  return static_cast<std::uint64_t>(
+      std::llround(double(daily_.at(static_cast<std::size_t>(day))) *
+                   ca_share(ca)));
+}
+
+std::vector<RevocationTrace::Event> RevocationTrace::events(
+    int day_from, int day_to) const {
+  if (day_from < 0 || day_to > config_.days || day_from >= day_to) {
+    throw std::invalid_argument("RevocationTrace::events: bad day range");
+  }
+  std::vector<Event> out;
+  for (int day = day_from; day < day_to; ++day) {
+    Rng rng(config_.seed ^ (0xE7E7u + static_cast<std::uint64_t>(day) * 257));
+    const auto per_hour = hourly(day, day + 1);
+    for (int h = 0; h < 24; ++h) {
+      const std::uint64_t count = per_hour[static_cast<std::size_t>(h)];
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Event e;
+        e.time = static_cast<UnixSeconds>(day) * 86400 + h * 3600 +
+                 static_cast<UnixSeconds>(rng.uniform(3600));
+        // CA chosen by weight.
+        double target = rng.uniform01();
+        int ca = config_.num_cas - 1;
+        for (int c = 0; c < config_.num_cas; ++c) {
+          target -= ca_weights_[static_cast<std::size_t>(c)];
+          if (target <= 0) {
+            ca = c;
+            break;
+          }
+        }
+        e.ca = ca;
+        // Serial widths: 32% 3-byte (the paper's modal size), the rest a
+        // spread of 1..8 and 16/20-byte serials.
+        const double width_draw = rng.uniform01();
+        std::size_t width;
+        if (width_draw < 0.32) width = 3;
+        else if (width_draw < 0.50) width = 4;
+        else if (width_draw < 0.62) width = 2;
+        else if (width_draw < 0.72) width = 1;
+        else if (width_draw < 0.84) width = 8;
+        else if (width_draw < 0.94) width = 16;
+        else width = 20;
+        e.serial.value = rng.bytes(width);
+        if (e.serial.value.empty()) e.serial.value.push_back(0);
+        out.push_back(std::move(e));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+  return out;
+}
+
+}  // namespace ritm::eval

@@ -1,0 +1,72 @@
+// Synthetic revocation trace calibrated to the paper's dataset (§VII-A):
+// the Internet Storm Center collection of 254 CRLs with 1,381,992 unique
+// revocations, 3-byte serials as the modal size, the largest CRL holding
+// ~24.6% of all entries, and the Heartbleed mass-revocation event of
+// April 2014 (Fig. 4: a sudden peak mid-April, highest rates on 16–17
+// April).
+//
+// The generator is deterministic for a given seed; day 0 is 1 January 2014
+// and the default span ends 30 June 2015.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ritm::eval {
+
+struct TraceConfig {
+  std::uint64_t seed = 42;
+  int days = 546;                        // Jan 2014 .. Jun 2015
+  int heartbleed_peak_day = 105;         // 16 April 2014
+  std::uint64_t total_revocations = 1'381'992;
+  std::uint64_t heartbleed_extra = 300'000;  // burst mass above baseline
+  int num_cas = 254;
+  double largest_ca_share = 0.246;       // the 339,557-entry CRL
+};
+
+class RevocationTrace {
+ public:
+  explicit RevocationTrace(TraceConfig config = {});
+
+  const TraceConfig& config() const noexcept { return config_; }
+
+  /// Revocations per day, length config().days.
+  const std::vector<std::uint64_t>& daily() const noexcept { return daily_; }
+
+  /// Revocations per hour for days [day_from, day_to) — the Fig. 4 zoom.
+  std::vector<std::uint64_t> hourly(int day_from, int day_to) const;
+
+  /// Total revocations in the whole trace.
+  std::uint64_t total() const noexcept { return total_; }
+
+  std::uint64_t max_daily() const;
+  int day_of_max() const;
+
+  /// Revocations of one CA on one day (CA 0 is the largest).
+  std::uint64_t daily_for_ca(int day, int ca) const;
+
+  /// Share of the total belonging to CA `ca`.
+  double ca_share(int ca) const;
+
+  /// A concrete revocation event stream for days [day_from, day_to):
+  /// timestamped, CA-tagged serials (serial widths follow the paper's
+  /// distribution: 32% are 3 bytes, the rest a mix).
+  struct Event {
+    UnixSeconds time = 0;  // seconds since trace start
+    int ca = 0;
+    cert::SerialNumber serial;
+  };
+  std::vector<Event> events(int day_from, int day_to) const;
+
+ private:
+  TraceConfig config_;
+  std::vector<std::uint64_t> daily_;
+  std::vector<double> ca_weights_;  // normalized, size num_cas
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ritm::eval

@@ -1,0 +1,52 @@
+#include "ra/gossip.hpp"
+
+#include <stdexcept>
+
+namespace ritm::ra {
+
+GossipPool::GossipPool(const cert::TrustStore* keys) : keys_(keys) {
+  if (keys_ == nullptr) throw std::invalid_argument("GossipPool: null keys");
+}
+
+std::optional<MisbehaviourEvidence> GossipPool::observe(
+    const dict::SignedRoot& root) {
+  const auto key = keys_->find(root.ca);
+  if (!key) return std::nullopt;  // unknown CA: nothing to check against
+  if (!root.verify(*key)) {
+    ++forged_;
+    return std::nullopt;  // not the CA's signature: not evidence of its lie
+  }
+  auto& by_n = seen_[root.ca];
+  auto [it, inserted] = by_n.emplace(root.n, root);
+  if (inserted) return std::nullopt;
+  if (it->second.root == root.root) return std::nullopt;  // consistent
+  return MisbehaviourEvidence{it->second, root};
+}
+
+std::vector<MisbehaviourEvidence> GossipPool::exchange(GossipPool& peer) {
+  std::vector<MisbehaviourEvidence> evidence;
+  // Copy-snapshot both sides first so the exchange is symmetric even as the
+  // pools absorb each other's roots.
+  std::vector<dict::SignedRoot> mine, theirs;
+  for (const auto& [ca, by_n] : seen_) {
+    for (const auto& [n, root] : by_n) mine.push_back(root);
+  }
+  for (const auto& [ca, by_n] : peer.seen_) {
+    for (const auto& [n, root] : by_n) theirs.push_back(root);
+  }
+  for (const auto& root : theirs) {
+    if (auto e = observe(root)) evidence.push_back(std::move(*e));
+  }
+  for (const auto& root : mine) {
+    if (auto e = peer.observe(root)) evidence.push_back(std::move(*e));
+  }
+  return evidence;
+}
+
+std::size_t GossipPool::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [ca, by_n] : seen_) total += by_n.size();
+  return total;
+}
+
+}  // namespace ritm::ra

@@ -1,0 +1,49 @@
+// Gossip-based consistency checking (§III "Consistency Checking", §V "More
+// powerful adversaries"; modelled after Chuat et al., IEEE CNS 2015):
+// participants — RAs or RITM clients — remember the signed roots they
+// observe and exchange them opportunistically. Because dictionaries are
+// append-only, two verifying roots with the same size and different hashes
+// are non-repudiable proof of a split view, no matter which parties the
+// misbehaving CA tried to partition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "dict/signed_root.hpp"
+#include "ra/store.hpp"
+
+namespace ritm::ra {
+
+class GossipPool {
+ public:
+  /// `keys` maps CA ids to public keys (used to drop forged roots on
+  /// observation). The pointer must outlive the pool.
+  explicit GossipPool(const cert::TrustStore* keys);
+
+  /// Records a signed root seen in the wild (piggybacked status, edge
+  /// download, peer exchange). Returns evidence if it conflicts with a
+  /// previously recorded root of the same CA and size. Forged or
+  /// unknown-CA roots are ignored.
+  std::optional<MisbehaviourEvidence> observe(const dict::SignedRoot& root);
+
+  /// Full bidirectional exchange with a peer: both pools end up with the
+  /// union of observations; all conflicts discovered either way are
+  /// returned.
+  std::vector<MisbehaviourEvidence> exchange(GossipPool& peer);
+
+  /// Observations recorded (one per (CA, n) pair).
+  std::size_t size() const noexcept;
+
+  std::uint64_t forged_dropped() const noexcept { return forged_; }
+
+ private:
+  const cert::TrustStore* keys_;
+  std::map<cert::CaId, std::map<std::uint64_t, dict::SignedRoot>> seen_;
+  std::uint64_t forged_ = 0;
+};
+
+}  // namespace ritm::ra

@@ -1,0 +1,186 @@
+#include "ra/store.hpp"
+
+#include <stdexcept>
+
+namespace ritm::ra {
+
+void DictionaryStore::register_ca(const cert::CaId& ca,
+                                  const crypto::PublicKey& key,
+                                  UnixSeconds delta) {
+  if (delta <= 0) {
+    throw std::invalid_argument("DictionaryStore: delta must be > 0");
+  }
+  auto& state = cas_[ca];
+  state.key = key;
+  state.delta = delta;
+}
+
+bool DictionaryStore::knows(const cert::CaId& ca) const {
+  return cas_.count(ca) != 0;
+}
+
+DictionaryStore::CaState* DictionaryStore::find(const cert::CaId& ca) {
+  auto it = cas_.find(ca);
+  return it == cas_.end() ? nullptr : &it->second;
+}
+
+const DictionaryStore::CaState* DictionaryStore::find(
+    const cert::CaId& ca) const {
+  auto it = cas_.find(ca);
+  return it == cas_.end() ? nullptr : &it->second;
+}
+
+bool DictionaryStore::accept_freshness(CaState& state,
+                                       const crypto::Digest20& statement,
+                                       UnixSeconds now) {
+  if (!state.have_root) return false;
+  // Expected period from our clock; allow one period of skew either way
+  // (the paper's 2∆ acceptance window, §V).
+  const std::uint64_t expected =
+      now <= state.root.timestamp
+          ? 0
+          : static_cast<std::uint64_t>((now - state.root.timestamp) /
+                                       state.delta);
+  const std::uint64_t lo = expected == 0 ? 0 : expected - 1;
+  for (std::uint64_t p = lo; p <= expected + 1; ++p) {
+    // Verify incrementally against the last verified statement: walking
+    // (p - last) steps instead of p steps from the anchor keeps periodic
+    // verification O(1) amortized over a chain's lifetime. (The anchor is
+    // the period-0 statement, so a fresh root bootstraps this.)
+    if (p < state.freshness_period) continue;
+    if (crypto::HashChain::verify(statement, p - state.freshness_period,
+                                  state.freshness)) {
+      state.freshness = statement;
+      state.freshness_period = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+ApplyResult DictionaryStore::apply_issuance(
+    const dict::RevocationIssuance& msg, UnixSeconds now) {
+  CaState* state = find(msg.signed_root.ca);
+  if (state == nullptr) return ApplyResult::unknown_ca;
+  if (!msg.signed_root.verify(state->key)) return ApplyResult::bad_signature;
+  if (state->have_root) {
+    if (msg.signed_root.n < state->root.n ||
+        msg.signed_root.timestamp < state->root.timestamp) {
+      return ApplyResult::stale_root;
+    }
+  }
+  // Gap check via consecutive numbering: the issuance must extend our
+  // replica exactly.
+  if (msg.signed_root.n != state->dict.size() + msg.serials.size()) {
+    state->desynchronized = true;
+    return ApplyResult::gap_detected;
+  }
+  if (!state->dict.update(msg.serials, msg.signed_root.root,
+                          msg.signed_root.n)) {
+    return ApplyResult::root_mismatch;
+  }
+  state->root = msg.signed_root;
+  state->have_root = true;
+  // A fresh signed root doubles as the period-0 freshness statement.
+  state->freshness = msg.signed_root.freshness_anchor;
+  state->freshness_period = 0;
+  state->desynchronized = false;
+  (void)now;
+  return ApplyResult::ok;
+}
+
+ApplyResult DictionaryStore::apply_freshness(
+    const dict::FreshnessStatement& msg, UnixSeconds now) {
+  CaState* state = find(msg.ca);
+  if (state == nullptr) return ApplyResult::unknown_ca;
+  if (!accept_freshness(*state, msg.statement, now)) {
+    return ApplyResult::bad_freshness;
+  }
+  return ApplyResult::ok;
+}
+
+ApplyResult DictionaryStore::apply_sync(const dict::SyncResponse& msg,
+                                        UnixSeconds now) {
+  CaState* state = find(msg.ca);
+  if (state == nullptr) return ApplyResult::unknown_ca;
+  if (!msg.signed_root.verify(state->key)) return ApplyResult::bad_signature;
+
+  // Entries must continue our numbering exactly.
+  std::uint64_t expect = state->dict.size() + 1;
+  std::vector<cert::SerialNumber> serials;
+  serials.reserve(msg.entries.size());
+  for (const auto& e : msg.entries) {
+    if (e.number != expect++) return ApplyResult::gap_detected;
+    serials.push_back(e.serial);
+  }
+  if (msg.signed_root.n != state->dict.size() + serials.size()) {
+    return ApplyResult::gap_detected;
+  }
+  if (!state->dict.update(serials, msg.signed_root.root, msg.signed_root.n)) {
+    return ApplyResult::root_mismatch;
+  }
+  state->root = msg.signed_root;
+  state->have_root = true;
+  state->desynchronized = false;
+  if (!accept_freshness(*state, msg.freshness, now)) {
+    // Root applied but statement stale: keep the anchor as freshness.
+    state->freshness = msg.signed_root.freshness_anchor;
+    state->freshness_period = 0;
+  }
+  return ApplyResult::ok;
+}
+
+std::optional<dict::RevocationStatus> DictionaryStore::status_for(
+    const cert::CaId& ca, const cert::SerialNumber& serial) const {
+  const CaState* state = find(ca);
+  if (state == nullptr || !state->have_root) return std::nullopt;
+  dict::RevocationStatus status;
+  status.proof = state->dict.prove(serial);
+  status.signed_root = state->root;
+  status.freshness = state->freshness;
+  return status;
+}
+
+std::uint64_t DictionaryStore::have_n(const cert::CaId& ca) const {
+  const CaState* state = find(ca);
+  return state == nullptr ? 0 : state->dict.size();
+}
+
+bool DictionaryStore::needs_sync(const cert::CaId& ca) const {
+  const CaState* state = find(ca);
+  return state != nullptr && state->desynchronized;
+}
+
+bool DictionaryStore::has_root(const cert::CaId& ca) const {
+  const CaState* state = find(ca);
+  return state != nullptr && state->have_root;
+}
+
+std::optional<MisbehaviourEvidence> DictionaryStore::cross_check(
+    const dict::SignedRoot& theirs) const {
+  const CaState* state = find(theirs.ca);
+  if (state == nullptr || !state->have_root) return std::nullopt;
+  if (!theirs.verify(state->key)) return std::nullopt;  // forgery, not CA sig
+  if (theirs.n != state->root.n) return std::nullopt;   // different versions
+  if (theirs.root == state->root.root) return std::nullopt;  // consistent
+  return MisbehaviourEvidence{state->root, theirs};
+}
+
+const dict::SignedRoot* DictionaryStore::root_of(const cert::CaId& ca) const {
+  const CaState* state = find(ca);
+  return state != nullptr && state->have_root ? &state->root : nullptr;
+}
+
+std::size_t DictionaryStore::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, state] : cas_) total += state.dict.storage_bytes();
+  return total;
+}
+
+std::size_t DictionaryStore::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, state] : cas_) total += state.dict.memory_bytes();
+  return total;
+}
+
+}  // namespace ritm::ra

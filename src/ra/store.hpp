@@ -1,0 +1,108 @@
+// The RA's replicated dictionary store: one verified replica per CA, kept
+// current by replaying issuance messages (Fig. 2 `update`), freshness
+// statements, and sync responses. All acceptance rules of §III live here:
+// signature checks, root-replay comparison, hash-chain freshness walks, and
+// gap detection via the revocation numbering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/hash_chain.hpp"
+#include "dict/dictionary.hpp"
+#include "dict/messages.hpp"
+#include "dict/signed_root.hpp"
+
+namespace ritm::ra {
+
+/// Two conflicting signed roots for the same dictionary size — the
+/// cryptographic, non-repudiable evidence of CA misbehaviour (§V).
+struct MisbehaviourEvidence {
+  dict::SignedRoot ours;
+  dict::SignedRoot theirs;
+};
+
+enum class ApplyResult {
+  ok,
+  unknown_ca,
+  bad_signature,
+  stale_root,       // older timestamp/size than what we already verified
+  root_mismatch,    // replay produced a different root: CA lied or reordered
+  gap_detected,     // issuance skips numbers: we missed updates, need sync
+  bad_freshness,    // statement does not hash into the committed anchor
+};
+
+class DictionaryStore {
+ public:
+  /// Registers a CA (trust anchor + its ∆). Replicas start empty.
+  void register_ca(const cert::CaId& ca, const crypto::PublicKey& key,
+                   UnixSeconds delta);
+
+  bool knows(const cert::CaId& ca) const;
+  std::size_t ca_count() const noexcept { return cas_.size(); }
+
+  /// Applies a revocation issuance (serials + signed root).
+  ApplyResult apply_issuance(const dict::RevocationIssuance& msg,
+                             UnixSeconds now);
+
+  /// Applies a freshness statement, verifying it against the committed
+  /// anchor for the current period (±1 period of clock tolerance).
+  ApplyResult apply_freshness(const dict::FreshnessStatement& msg,
+                              UnixSeconds now);
+
+  /// Applies a sync response (recovery after gap_detected).
+  ApplyResult apply_sync(const dict::SyncResponse& msg, UnixSeconds now);
+
+  /// Builds the revocation status (Eq. (3)) the RA injects for a serial.
+  std::optional<dict::RevocationStatus> status_for(
+      const cert::CaId& ca, const cert::SerialNumber& serial) const;
+
+  /// Number of consecutive revocations held for `ca` (the sync cursor).
+  std::uint64_t have_n(const cert::CaId& ca) const;
+
+  /// True if a gap was detected and a sync is pending for `ca`.
+  bool needs_sync(const cert::CaId& ca) const;
+
+  /// True once a verified signed root is held for `ca`. Until then the RA
+  /// cannot serve statuses and must bootstrap via the sync protocol.
+  bool has_root(const cert::CaId& ca) const;
+
+  /// Consistency checking (§III): compares a signed root obtained from an
+  /// edge server / peer RA / piggybacked status against our replica.
+  /// Returns evidence if both roots verify, have equal n, but differ —
+  /// i.e. a provable split view. Updates nothing.
+  std::optional<MisbehaviourEvidence> cross_check(
+      const dict::SignedRoot& theirs) const;
+
+  /// Latest verified signed root for a CA (for gossip / cross checks).
+  const dict::SignedRoot* root_of(const cert::CaId& ca) const;
+
+  /// Total memory footprint across replicas (§VII-D storage evaluation).
+  std::size_t storage_bytes() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  struct CaState {
+    crypto::PublicKey key{};
+    UnixSeconds delta = 10;
+    dict::Dictionary dict;
+    dict::SignedRoot root;
+    bool have_root = false;
+    crypto::Digest20 freshness{};     // latest verified statement
+    std::uint64_t freshness_period = 0;
+    bool desynchronized = false;
+  };
+
+  CaState* find(const cert::CaId& ca);
+  const CaState* find(const cert::CaId& ca) const;
+  /// Verifies a statement against `state`'s anchor for period ~now; stores
+  /// it on success.
+  bool accept_freshness(CaState& state, const crypto::Digest20& statement,
+                        UnixSeconds now);
+
+  std::map<cert::CaId, CaState> cas_;
+};
+
+}  // namespace ritm::ra

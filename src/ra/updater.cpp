@@ -1,0 +1,106 @@
+#include "ra/updater.hpp"
+
+#include <stdexcept>
+
+namespace ritm::ra {
+
+RaUpdater::RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
+                     SyncFn sync)
+    : config_(config), store_(store), cdn_(cdn), sync_(std::move(sync)) {
+  if (store_ == nullptr || cdn_ == nullptr) {
+    throw std::invalid_argument("RaUpdater: null store or cdn");
+  }
+}
+
+void RaUpdater::apply_message(const ca::FeedMessage& msg, UnixSeconds now) {
+  ++totals_.messages;
+  ApplyResult result;
+  if (msg.type == ca::FeedMessage::Type::issuance) {
+    result = store_->apply_issuance(*msg.issuance, now);
+    if (result == ApplyResult::gap_detected) {
+      run_sync(msg.issuance->signed_root.ca, now);
+      return;
+    }
+  } else {
+    if (!store_->has_root(msg.freshness->ca) &&
+        store_->knows(msg.freshness->ca)) {
+      // Bootstrap: a freshness statement is useless without the signed
+      // root it chains to — fetch the full state via the sync protocol
+      // (§VIII bootstrapping).
+      run_sync(msg.freshness->ca, now);
+      return;
+    }
+    result = store_->apply_freshness(*msg.freshness, now);
+  }
+  if (result == ApplyResult::ok) {
+    ++totals_.applied_ok;
+  } else {
+    ++totals_.rejected;
+  }
+}
+
+void RaUpdater::run_sync(const cert::CaId& ca, UnixSeconds now) {
+  if (!sync_) return;
+  ++totals_.syncs;
+  const dict::SyncRequest req{ca, store_->have_n(ca)};
+  auto resp = sync_(req);
+  if (!resp) return;
+  totals_.sync_bytes += resp->encode().size();
+  if (store_->apply_sync(*resp, now) == ApplyResult::ok) {
+    ++totals_.applied_ok;
+  } else {
+    ++totals_.rejected;
+  }
+}
+
+RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
+                                            TimeMs now, Rng& rng) {
+  PullResult result;
+  const UnixSeconds now_s = to_seconds(now);
+  while (next_period_ <= upto_period) {
+    const auto fetch =
+        cdn_->get(ca::feed_path(next_period_), now, config_.location, rng);
+    ++totals_.pulls;
+    totals_.latency_ms += fetch.latency_ms;
+    result.latency_ms += fetch.latency_ms;
+    if (fetch.found) {
+      result.bytes += fetch.bytes;
+      totals_.bytes += fetch.bytes;
+      const auto feed = ca::decode_feed(ByteSpan(fetch.object->data));
+      if (feed) {
+        for (const auto& msg : *feed) {
+          apply_message(msg, now_s);
+          ++result.messages;
+        }
+      }
+    }
+    ++next_period_;
+  }
+  return result;
+}
+
+std::optional<MisbehaviourEvidence> RaUpdater::consistency_check(
+    const cert::CaId& ca, TimeMs now, Rng& rng) {
+  ++totals_.consistency_checks;
+  const auto fetch =
+      cdn_->get(ca::DistributionPoint::root_path(ca), now, config_.location,
+                rng);
+  totals_.latency_ms += fetch.latency_ms;
+  if (!fetch.found) return std::nullopt;
+  totals_.bytes += fetch.bytes;
+  const auto root = dict::SignedRoot::decode(ByteSpan(fetch.object->data));
+  if (!root) return std::nullopt;
+  auto evidence = store_->cross_check(*root);
+  if (evidence) ++totals_.misbehaviour_detected;
+  return evidence;
+}
+
+std::optional<MisbehaviourEvidence> RaUpdater::gossip_check(
+    const dict::SignedRoot& peer_root) {
+  ++totals_.consistency_checks;
+  auto evidence = store_->cross_check(peer_root);
+  if (evidence) ++totals_.misbehaviour_detected;
+  return evidence;
+}
+
+}  // namespace ritm::ra

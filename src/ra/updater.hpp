@@ -1,0 +1,85 @@
+// The RA's dissemination client: every ∆ it pulls the per-period feed
+// object from the nearest CDN edge and applies it to the dictionary store;
+// on a detected numbering gap it runs the sync protocol; and it can run the
+// consistency-checking procedure of §III (fetch a random edge's copy of a
+// CA's signed root and compare against the local replica).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ca/distribution.hpp"
+#include "ca/feed.hpp"
+#include "cdn/cdn.hpp"
+#include "common/rng.hpp"
+#include "ra/store.hpp"
+#include "sim/geo.hpp"
+
+namespace ritm::ra {
+
+class RaUpdater {
+ public:
+  /// How the RA reaches the sync endpoint (served by the distribution
+  /// point / CA in a real deployment).
+  using SyncFn =
+      std::function<std::optional<dict::SyncResponse>(const dict::SyncRequest&)>;
+
+  struct Config {
+    sim::GeoPoint location{};
+  };
+
+  struct Totals {
+    std::uint64_t pulls = 0;
+    std::uint64_t bytes = 0;             // feed bytes downloaded
+    std::uint64_t messages = 0;          // feed messages applied
+    std::uint64_t applied_ok = 0;
+    std::uint64_t rejected = 0;          // bad signature / root mismatch
+    std::uint64_t syncs = 0;
+    std::uint64_t sync_bytes = 0;
+    std::uint64_t consistency_checks = 0;
+    std::uint64_t misbehaviour_detected = 0;
+    double latency_ms = 0.0;             // summed fetch latencies
+  };
+
+  /// One pull's outcome (used by the dissemination benches).
+  struct PullResult {
+    std::uint64_t bytes = 0;
+    double latency_ms = 0.0;
+    std::size_t messages = 0;
+  };
+
+  RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
+            SyncFn sync = {});
+
+  /// Pulls and applies every feed period in [next_period, upto_period].
+  PullResult pull_up_to(std::uint64_t upto_period, TimeMs now, Rng& rng);
+
+  /// §III consistency checking: downloads a random-CA signed root from the
+  /// nearest edge and cross-checks it against the local replica. Returns
+  /// evidence if a split view is found.
+  std::optional<MisbehaviourEvidence> consistency_check(
+      const cert::CaId& ca, TimeMs now, Rng& rng);
+
+  /// Direct RA<->RA gossip: cross-check a peer's signed root (§V "More
+  /// powerful adversaries", map-server / gossip deployment).
+  std::optional<MisbehaviourEvidence> gossip_check(
+      const dict::SignedRoot& peer_root);
+
+  std::uint64_t next_period() const noexcept { return next_period_; }
+  const Totals& totals() const noexcept { return totals_; }
+
+ private:
+  void apply_message(const ca::FeedMessage& msg, UnixSeconds now);
+  void run_sync(const cert::CaId& ca, UnixSeconds now);
+
+  Config config_;
+  DictionaryStore* store_;
+  cdn::Cdn* cdn_;
+  SyncFn sync_;
+  std::uint64_t next_period_ = 0;
+  Totals totals_;
+};
+
+}  // namespace ritm::ra

@@ -1,0 +1,74 @@
+#include "sim/event_loop.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace ritm::sim {
+
+EventId EventLoop::schedule_at(TimeMs t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("EventLoop: schedule in the past");
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId EventLoop::schedule_after(TimeMs delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::schedule_every(TimeMs start, TimeMs period,
+                                  std::function<void(TimeMs)> fn) {
+  if (period <= 0) throw std::invalid_argument("EventLoop: period must be > 0");
+  const EventId id = next_id_++;
+  // The periodic series shares one id: each firing checks cancellation and
+  // re-arms itself.
+  auto arm = std::make_shared<std::function<void(TimeMs)>>();
+  *arm = [this, id, period, fn = std::move(fn), arm](TimeMs at) {
+    if (cancelled_.count(id)) {
+      cancelled_.erase(id);
+      return;
+    }
+    fn(at);
+    if (cancelled_.count(id)) {
+      cancelled_.erase(id);
+      return;
+    }
+    queue_.push(Scheduled{at + period, next_seq_++, id,
+                          [arm, next = at + period] { (*arm)(next); }});
+  };
+  queue_.push(Scheduled{start, next_seq_++, id, [arm, start] { (*arm)(start); }});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) { cancelled_.insert(id); }
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    Scheduled ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.count(ev.id)) {
+      // One-shot cancelled events are consumed here; periodic series clean
+      // their flag inside the re-arming closure instead.
+      cancelled_.erase(ev.id);
+      continue;
+    }
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(TimeMs t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+std::size_t EventLoop::pending() const noexcept { return queue_.size(); }
+
+}  // namespace ritm::sim

@@ -1,0 +1,51 @@
+#include "sim/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ritm::sim {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+// Speed of light in fiber ~ 2e5 km/s; Internet paths are ~1.7x longer than
+// the geodesic (routing stretch), giving ~8.5 us/km one way.
+constexpr double kFiberKmPerMs = 200.0;
+constexpr double kPathStretch = 1.7;
+constexpr double kFloorMs = 1.0;
+
+double to_rad(double deg) noexcept { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = to_rad(a.lat_deg), lat2 = to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = to_rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double propagation_delay_ms(double km) noexcept {
+  return std::max(kFloorMs, km * kPathStretch / kFiberKmPerMs);
+}
+
+double PathModel::rtt_ms(const GeoPoint& a, const GeoPoint& b, Rng& rng) const {
+  const double one_way = propagation_delay_ms(great_circle_km(a, b));
+  const double nominal = base_rtt_ms + 2.0 * one_way;
+  // Log-normal jitter centred on 1.0.
+  const double jitter =
+      rng.lognormal(-jitter_sigma * jitter_sigma / 2.0, jitter_sigma);
+  return nominal * jitter;
+}
+
+double PathModel::fetch_ms(double rtt_ms, std::size_t bytes) const {
+  const double handshake = rtt_ms;           // TCP SYN/SYN-ACK/ACK
+  const double request = rtt_ms;             // GET + first response byte
+  const double transfer =
+      static_cast<double>(bytes) / bandwidth_Bps * 1000.0;
+  return handshake + request + transfer;
+}
+
+}  // namespace ritm::sim

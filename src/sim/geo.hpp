@@ -1,0 +1,45 @@
+// Geographic latency model. The paper measured CDN download times from 80
+// PlanetLab vantage points and placed RAs by city population (§VII-B/C); we
+// reproduce both with great-circle distances between coordinates and an
+// empirical Internet-path slowdown factor over the speed of light in fiber.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace ritm::sim {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine).
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// One-way propagation delay for an Internet path spanning `km`:
+/// distance / (2/3 c) times a path-stretch factor, plus a fixed processing
+/// floor. Roughly 5 ms per 1000 km wire distance, never below 1 ms.
+double propagation_delay_ms(double km) noexcept;
+
+/// Parameters of a simulated network path.
+struct PathModel {
+  double base_rtt_ms = 2.0;          // endpoint processing + last mile
+  double bandwidth_Bps = 12.5e6;     // 100 Mbit/s default
+  double jitter_sigma = 0.15;        // log-normal multiplier on latency
+
+  /// RTT sample between two points (ms).
+  double rtt_ms(const GeoPoint& a, const GeoPoint& b, Rng& rng) const;
+
+  /// Full HTTP-over-TCP fetch time (ms): TCP handshake (1 RTT) + request/
+  /// first byte (1 RTT) + transfer at `bandwidth_Bps`. This mirrors the
+  /// paper's worst-case measurement where caching is disabled (TTL=0), in
+  /// which case the edge adds its own fetch from the origin.
+  double fetch_ms(double rtt_ms, std::size_t bytes) const;
+};
+
+}  // namespace ritm::sim

@@ -1,0 +1,45 @@
+#include "sim/packet.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ritm::sim {
+
+std::string Endpoint::to_string() const {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xFF) << '.' << ((ip >> 16) & 0xFF) << '.'
+     << ((ip >> 8) & 0xFF) << '.' << (ip & 0xFF) << ':' << port;
+  return os.str();
+}
+
+std::uint32_t Endpoint::parse_ip(const std::string& dotted) {
+  std::uint32_t parts[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= dotted.size()) {
+      throw std::invalid_argument("Endpoint::parse_ip: truncated");
+    }
+    std::size_t end = dotted.find('.', pos);
+    if (i == 3) end = dotted.size();
+    if (end == std::string::npos) {
+      throw std::invalid_argument("Endpoint::parse_ip: missing dot");
+    }
+    const std::string part = dotted.substr(pos, end - pos);
+    if (part.empty() || part.size() > 3) {
+      throw std::invalid_argument("Endpoint::parse_ip: bad octet");
+    }
+    std::uint32_t v = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("Endpoint::parse_ip: non-digit");
+      }
+      v = v * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (v > 255) throw std::invalid_argument("Endpoint::parse_ip: octet > 255");
+    parts[i] = v;
+    pos = end + 1;
+  }
+  return parts[0] << 24 | parts[1] << 16 | parts[2] << 8 | parts[3];
+}
+
+}  // namespace ritm::sim

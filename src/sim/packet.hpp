@@ -1,0 +1,67 @@
+// Packet and endpoint model shared by the TLS substrate and the RA's DPI.
+//
+// A Packet carries an opaque payload between two endpoints; for TLS flows
+// the payload is a sequence of TLS records. The RA parses payload bytes —
+// it is a genuine wire-format parser, not an object handoff.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ritm::sim {
+
+struct Endpoint {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+
+  /// Dotted-quad rendering for logs ("12.34.56.78:9012").
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d" into the ip field (port unchanged). Throws on error.
+  static std::uint32_t parse_ip(const std::string& dotted);
+};
+
+struct Packet {
+  Endpoint src;
+  Endpoint dst;
+  Bytes payload;
+
+  std::size_t size() const noexcept {
+    return payload.size() + 40;  // + IPv4/TCP header estimate
+  }
+};
+
+/// 4-tuple flow identity (the RA's state key, Eq. (4) of the paper).
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+
+  static FlowKey of(const Packet& p) noexcept {
+    return FlowKey{p.src.ip, p.dst.ip, p.src.port, p.dst.port};
+  }
+  /// The same flow seen in the reverse direction.
+  FlowKey reversed() const noexcept {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port};
+  }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = k.src_ip;
+    h = h * 0x100000001B3ULL ^ k.dst_ip;
+    h = h * 0x100000001B3ULL ^ k.src_port;
+    h = h * 0x100000001B3ULL ^ k.dst_port;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace ritm::sim

@@ -1,0 +1,175 @@
+#include "tls/handshake.hpp"
+
+#include "common/io.hpp"
+#include "tls/record.hpp"
+
+namespace ritm::tls {
+
+namespace {
+
+void encode_extensions(ByteWriter& w, const std::vector<Extension>& exts) {
+  ByteWriter inner;
+  for (const auto& e : exts) {
+    inner.u16(e.type);
+    inner.var16(ByteSpan(e.data));
+  }
+  w.var16(ByteSpan(inner.bytes()));
+}
+
+std::optional<std::vector<Extension>> decode_extensions(ByteReader& r) {
+  auto block = r.try_var16();
+  if (!block) return std::nullopt;
+  ByteReader er{ByteSpan(*block)};
+  std::vector<Extension> out;
+  while (!er.done()) {
+    auto type = er.try_u16();
+    if (!type) return std::nullopt;
+    auto data = er.try_var16();
+    if (!data) return std::nullopt;
+    out.push_back(Extension{*type, std::move(*data)});
+  }
+  return out;
+}
+
+bool find_extension(const std::vector<Extension>& exts,
+                    std::uint16_t type) noexcept {
+  for (const auto& e : exts) {
+    if (e.type == type) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ClientHello::has_extension(std::uint16_t type) const noexcept {
+  return find_extension(extensions, type);
+}
+
+Bytes ClientHello::encode_body() const {
+  ByteWriter w;
+  w.u16(kTlsVersion12);
+  w.raw(ByteSpan(random.data(), random.size()));
+  w.var8(ByteSpan(session_id));
+  ByteWriter suites;
+  for (std::uint16_t s : cipher_suites) suites.u16(s);
+  w.var16(ByteSpan(suites.bytes()));
+  w.var8(ByteSpan(Bytes{0x00}));  // compression: null only
+  encode_extensions(w, extensions);
+  return w.take();
+}
+
+std::optional<ClientHello> ClientHello::decode_body(ByteSpan body) {
+  ByteReader r{body};
+  auto version = r.try_u16();
+  if (!version || *version != kTlsVersion12) return std::nullopt;
+  ClientHello ch;
+  auto random = r.try_raw(32);
+  if (!random) return std::nullopt;
+  std::copy(random->begin(), random->end(), ch.random.begin());
+  auto session = r.try_var8();
+  if (!session || (session->size() != 0 && session->size() != 32)) {
+    return std::nullopt;
+  }
+  ch.session_id = std::move(*session);
+  auto suites = r.try_var16();
+  if (!suites || suites->size() % 2 != 0) return std::nullopt;
+  ch.cipher_suites.clear();
+  for (std::size_t i = 0; i < suites->size(); i += 2) {
+    ch.cipher_suites.push_back(
+        static_cast<std::uint16_t>((*suites)[i] << 8 | (*suites)[i + 1]));
+  }
+  auto compression = r.try_var8();
+  if (!compression) return std::nullopt;
+  auto exts = decode_extensions(r);
+  if (!exts || !r.done()) return std::nullopt;
+  ch.extensions = std::move(*exts);
+  return ch;
+}
+
+bool ServerHello::has_extension(std::uint16_t type) const noexcept {
+  return find_extension(extensions, type);
+}
+
+Bytes ServerHello::encode_body() const {
+  ByteWriter w;
+  w.u16(kTlsVersion12);
+  w.raw(ByteSpan(random.data(), random.size()));
+  w.var8(ByteSpan(session_id));
+  w.u16(cipher_suite);
+  w.u8(0x00);  // compression
+  encode_extensions(w, extensions);
+  return w.take();
+}
+
+std::optional<ServerHello> ServerHello::decode_body(ByteSpan body) {
+  ByteReader r{body};
+  auto version = r.try_u16();
+  if (!version || *version != kTlsVersion12) return std::nullopt;
+  ServerHello sh;
+  auto random = r.try_raw(32);
+  if (!random) return std::nullopt;
+  std::copy(random->begin(), random->end(), sh.random.begin());
+  auto session = r.try_var8();
+  if (!session || (session->size() != 0 && session->size() != 32)) {
+    return std::nullopt;
+  }
+  sh.session_id = std::move(*session);
+  auto suite = r.try_u16();
+  if (!suite) return std::nullopt;
+  sh.cipher_suite = *suite;
+  auto compression = r.try_u8();
+  if (!compression) return std::nullopt;
+  auto exts = decode_extensions(r);
+  if (!exts || !r.done()) return std::nullopt;
+  sh.extensions = std::move(*exts);
+  return sh;
+}
+
+Bytes CertificateMsg::encode_body() const {
+  ByteWriter w;
+  w.var24(ByteSpan(cert::encode_chain(chain)));
+  return w.take();
+}
+
+std::optional<CertificateMsg> CertificateMsg::decode_body(ByteSpan body) {
+  ByteReader r{body};
+  auto chain_bytes = r.try_var24();
+  if (!chain_bytes || !r.done()) return std::nullopt;
+  auto chain = cert::decode_chain(ByteSpan(*chain_bytes));
+  if (!chain) return std::nullopt;
+  return CertificateMsg{std::move(*chain)};
+}
+
+Bytes Finished::encode_body() const {
+  return Bytes(verify_data.begin(), verify_data.end());
+}
+
+std::optional<Finished> Finished::decode_body(ByteSpan body) {
+  if (body.size() != 12) return std::nullopt;
+  Finished f;
+  std::copy(body.begin(), body.end(), f.verify_data.begin());
+  return f;
+}
+
+Bytes encode_handshake(HandshakeType type, ByteSpan body) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.var24(body);
+  return w.take();
+}
+
+std::optional<std::vector<HandshakeMsg>> decode_handshakes(ByteSpan data) {
+  ByteReader r{data};
+  std::vector<HandshakeMsg> out;
+  while (!r.done()) {
+    auto type = r.try_u8();
+    if (!type) return std::nullopt;
+    auto body = r.try_var24();
+    if (!body) return std::nullopt;
+    out.push_back(
+        HandshakeMsg{static_cast<HandshakeType>(*type), std::move(*body)});
+  }
+  return out;
+}
+
+}  // namespace ritm::tls

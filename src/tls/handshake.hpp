@@ -1,0 +1,98 @@
+// TLS handshake messages — the plaintext negotiation the RA inspects (§III:
+// "Our technique relies on the fact that the negotiation phase of TLS is
+// performed in plaintext").
+//
+// Framing follows RFC 5246: msg_type(1) ‖ length(3) ‖ body; bodies carry the
+// fields RITM consumes (randoms, session ids for resumption, cipher suites,
+// extensions, certificate chains).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "common/bytes.hpp"
+
+namespace ritm::tls {
+
+enum class HandshakeType : std::uint8_t {
+  client_hello = 1,
+  server_hello = 2,
+  session_ticket = 4,
+  certificate = 11,
+  server_hello_done = 14,
+  finished = 20,
+};
+
+/// The RITM ClientHello extension ("I'm deploying RITM", Fig. 3) and the
+/// ServerHello confirmation used by TLS-terminator deployments (§IV).
+constexpr std::uint16_t kRitmExtension = 0xFF02;
+/// RFC 5077 session-ticket extension (resumption support, §III).
+constexpr std::uint16_t kSessionTicketExtension = 35;
+
+struct Extension {
+  std::uint16_t type = 0;
+  Bytes data;
+
+  bool operator==(const Extension&) const = default;
+};
+
+using Random32 = std::array<std::uint8_t, 32>;
+
+struct ClientHello {
+  Random32 random{};
+  Bytes session_id;                         // empty or 32 bytes (resumption)
+  std::vector<std::uint16_t> cipher_suites{0x1301, 0x009C};
+  std::vector<Extension> extensions;
+
+  bool has_extension(std::uint16_t type) const noexcept;
+  bool offers_ritm() const noexcept { return has_extension(kRitmExtension); }
+
+  Bytes encode_body() const;
+  static std::optional<ClientHello> decode_body(ByteSpan body);
+};
+
+struct ServerHello {
+  Random32 random{};
+  Bytes session_id;
+  std::uint16_t cipher_suite = 0x1301;
+  std::vector<Extension> extensions;
+
+  bool has_extension(std::uint16_t type) const noexcept;
+  bool confirms_ritm() const noexcept { return has_extension(kRitmExtension); }
+
+  Bytes encode_body() const;
+  static std::optional<ServerHello> decode_body(ByteSpan body);
+};
+
+struct CertificateMsg {
+  cert::Chain chain;
+
+  Bytes encode_body() const;
+  static std::optional<CertificateMsg> decode_body(ByteSpan body);
+};
+
+struct Finished {
+  std::array<std::uint8_t, 12> verify_data{};
+
+  Bytes encode_body() const;
+  static std::optional<Finished> decode_body(ByteSpan body);
+};
+
+/// A parsed handshake message header + raw body.
+struct HandshakeMsg {
+  HandshakeType type = HandshakeType::client_hello;
+  Bytes body;
+
+  bool operator==(const HandshakeMsg&) const = default;
+};
+
+/// Frames a handshake message: type ‖ u24 length ‖ body.
+Bytes encode_handshake(HandshakeType type, ByteSpan body);
+
+/// Parses all handshake messages in a handshake-record payload.
+std::optional<std::vector<HandshakeMsg>> decode_handshakes(ByteSpan data);
+
+}  // namespace ritm::tls

@@ -1,0 +1,57 @@
+#include "tls/record.hpp"
+
+#include "common/io.hpp"
+
+namespace ritm::tls {
+
+namespace {
+bool valid_content_type(std::uint8_t t) noexcept {
+  switch (static_cast<ContentType>(t)) {
+    case ContentType::change_cipher_spec:
+    case ContentType::alert:
+    case ContentType::handshake:
+    case ContentType::application_data:
+    case ContentType::ritm_status:
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+Bytes encode_record(const Record& r) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(r.type));
+  w.u16(kTlsVersion12);
+  w.var16(ByteSpan(r.payload));
+  return w.take();
+}
+
+Bytes encode_records(const std::vector<Record>& rs) {
+  Bytes out;
+  for (const auto& r : rs) append(out, ByteSpan(encode_record(r)));
+  return out;
+}
+
+std::optional<std::vector<Record>> decode_records(ByteSpan data) {
+  ByteReader r{data};
+  std::vector<Record> out;
+  while (!r.done()) {
+    auto type = r.try_u8();
+    if (!type || !valid_content_type(*type)) return std::nullopt;
+    auto version = r.try_u16();
+    if (!version || *version != kTlsVersion12) return std::nullopt;
+    auto payload = r.try_var16();
+    if (!payload) return std::nullopt;
+    out.push_back(Record{static_cast<ContentType>(*type), std::move(*payload)});
+  }
+  return out;
+}
+
+bool looks_like_tls(ByteSpan data) noexcept {
+  if (data.size() < 5) return false;
+  if (!valid_content_type(data[0])) return false;
+  const std::uint16_t version = static_cast<std::uint16_t>(data[1] << 8 | data[2]);
+  return version == kTlsVersion12;
+}
+
+}  // namespace ritm::tls

@@ -1,0 +1,51 @@
+// TLS record layer (structurally faithful subset of RFC 5246 framing):
+// each record is  type(1) ‖ version(2) ‖ length(2) ‖ payload.
+//
+// RITM adds one content type: `ritm_status` (§VIII option 1 — "the RA must
+// also indicate, e.g. through a dedicated TLS Content Type, that the client
+// should handle the TLS message differently"). RAs append such records to
+// packets carrying ServerHello or application data; RITM clients strip them
+// before handing the rest to the TLS stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ritm::tls {
+
+enum class ContentType : std::uint8_t {
+  change_cipher_spec = 20,
+  alert = 21,
+  handshake = 22,
+  application_data = 23,
+  ritm_status = 0xF2,  // RITM's dedicated content type
+};
+
+constexpr std::uint16_t kTlsVersion12 = 0x0303;
+
+struct Record {
+  ContentType type = ContentType::handshake;
+  Bytes payload;
+
+  bool operator==(const Record&) const = default;
+};
+
+Bytes encode_record(const Record& r);
+
+/// Encodes several records back-to-back (one packet payload).
+Bytes encode_records(const std::vector<Record>& rs);
+
+/// Parses every record in `data`. Returns nullopt if the bytes are not a
+/// clean sequence of TLS records — the DPI fast-reject path for non-TLS
+/// traffic (Table III "TLS detection").
+std::optional<std::vector<Record>> decode_records(ByteSpan data);
+
+/// Cheap check that a payload *starts* like a TLS record (valid content
+/// type + version + plausible length). Used by the RA before committing to
+/// a full parse.
+bool looks_like_tls(ByteSpan data) noexcept;
+
+}  // namespace ritm::tls

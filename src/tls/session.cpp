@@ -1,0 +1,71 @@
+#include "tls/session.hpp"
+
+namespace ritm::tls {
+
+namespace {
+Random32 random32(Rng& rng) {
+  Random32 out;
+  const Bytes b = rng.bytes(out.size());
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+}  // namespace
+
+sim::Packet make_client_hello(const sim::Endpoint& client,
+                              const sim::Endpoint& server, Rng& rng,
+                              bool offer_ritm, Bytes session_id) {
+  ClientHello ch;
+  ch.random = random32(rng);
+  ch.session_id = std::move(session_id);
+  if (offer_ritm) ch.extensions.push_back(Extension{kRitmExtension, {}});
+
+  Record rec{ContentType::handshake,
+             encode_handshake(HandshakeType::client_hello,
+                              ByteSpan(ch.encode_body()))};
+  return sim::Packet{client, server, encode_record(rec)};
+}
+
+sim::Packet make_server_flight(const sim::Endpoint& client,
+                               const sim::Endpoint& server, Rng& rng,
+                               const cert::Chain& chain, bool confirm_ritm,
+                               Bytes session_id, bool abbreviated) {
+  ServerHello sh;
+  sh.random = random32(rng);
+  sh.session_id = std::move(session_id);
+  if (confirm_ritm) sh.extensions.push_back(Extension{kRitmExtension, {}});
+
+  Bytes handshakes = encode_handshake(HandshakeType::server_hello,
+                                      ByteSpan(sh.encode_body()));
+  if (!abbreviated) {
+    CertificateMsg cm{chain};
+    append(handshakes, ByteSpan(encode_handshake(HandshakeType::certificate,
+                                                 ByteSpan(cm.encode_body()))));
+    append(handshakes, ByteSpan(encode_handshake(
+                           HandshakeType::server_hello_done, ByteSpan{})));
+  }
+  Record rec{ContentType::handshake, std::move(handshakes)};
+  return sim::Packet{server, client, encode_record(rec)};
+}
+
+sim::Packet make_server_finished(const sim::Endpoint& client,
+                                 const sim::Endpoint& server) {
+  Finished f;
+  f.verify_data.fill(0xF1);
+  Record rec{ContentType::handshake,
+             encode_handshake(HandshakeType::finished,
+                              ByteSpan(f.encode_body()))};
+  return sim::Packet{server, client, encode_record(rec)};
+}
+
+sim::Packet make_app_data(const sim::Endpoint& from, const sim::Endpoint& to,
+                          Bytes data) {
+  Record rec{ContentType::application_data, std::move(data)};
+  return sim::Packet{from, to, encode_record(rec)};
+}
+
+sim::Packet make_plain_packet(const sim::Endpoint& from,
+                              const sim::Endpoint& to, Bytes data) {
+  return sim::Packet{from, to, std::move(data)};
+}
+
+}  // namespace ritm::tls

@@ -1,0 +1,42 @@
+// Canonical packet sequences for simulated TLS connections (Fig. 3 of the
+// paper). Examples, integration tests, and benches drive RAs with packets
+// built here; the RA only ever sees wire bytes.
+#pragma once
+
+#include "cert/certificate.hpp"
+#include "common/rng.hpp"
+#include "sim/packet.hpp"
+#include "tls/handshake.hpp"
+#include "tls/record.hpp"
+
+namespace ritm::tls {
+
+/// ClientHello packet; `offer_ritm` attaches the RITM extension.
+/// A non-empty `session_id` requests abbreviated (resumed) handshake.
+sim::Packet make_client_hello(const sim::Endpoint& client,
+                              const sim::Endpoint& server, Rng& rng,
+                              bool offer_ritm, Bytes session_id = {});
+
+/// Server's first flight. Full handshake: ServerHello + Certificate +
+/// ServerHelloDone in one packet. Abbreviated (echoed session id):
+/// ServerHello only. `confirm_ritm` adds the RITM extension to ServerHello
+/// (TLS-terminator deployment, §IV).
+sim::Packet make_server_flight(const sim::Endpoint& client,
+                               const sim::Endpoint& server, Rng& rng,
+                               const cert::Chain& chain, bool confirm_ritm,
+                               Bytes session_id = {}, bool abbreviated = false);
+
+/// Server Finished message (completes the handshake; the RA moves the flow
+/// to `established` on seeing it).
+sim::Packet make_server_finished(const sim::Endpoint& client,
+                                 const sim::Endpoint& server);
+
+/// Application-data packet (payload is opaque ciphertext in a real stack).
+sim::Packet make_app_data(const sim::Endpoint& from, const sim::Endpoint& to,
+                          Bytes data);
+
+/// A plain non-TLS packet (DPI must pass it through untouched).
+sim::Packet make_plain_packet(const sim::Endpoint& from,
+                              const sim::Endpoint& to, Bytes data);
+
+}  // namespace ritm::tls

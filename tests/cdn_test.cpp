@@ -1,0 +1,137 @@
+// CDN substrate tests: origin versioning, edge TTL caching (including the
+// paper's TTL=0 worst case), nearest-edge routing, and byte metering.
+#include <gtest/gtest.h>
+
+#include "cdn/cdn.hpp"
+#include "common/stats.hpp"
+
+namespace ritm::cdn {
+namespace {
+
+const sim::GeoPoint kVirginia{38.9, -77.4};
+const sim::GeoPoint kZurich{47.4, 8.5};
+const sim::GeoPoint kTokyo{35.7, 139.7};
+
+TEST(Origin, PutBumpsVersion) {
+  Origin origin(kVirginia);
+  origin.put("a", {1, 2}, 0);
+  ASSERT_NE(origin.get("a"), nullptr);
+  EXPECT_EQ(origin.get("a")->version, 1u);
+  origin.put("a", {3}, 5);
+  EXPECT_EQ(origin.get("a")->version, 2u);
+  EXPECT_EQ(origin.get("a")->data, (Bytes{3}));
+  EXPECT_EQ(origin.get("missing"), nullptr);
+  EXPECT_EQ(origin.bytes_uploaded(), 3u);
+}
+
+TEST(EdgeServer, CacheHitWithinTtl) {
+  Rng rng(1);
+  Origin origin(kVirginia);
+  origin.put("obj", Bytes(100, 0xAB), 0);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, /*ttl=*/5000);
+
+  const auto first = edge.serve("obj", 0, kZurich, rng);
+  EXPECT_TRUE(first.found);
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = edge.serve("obj", 1000, kZurich, rng);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_LT(second.latency_ms, first.latency_ms);  // no origin round trip
+  EXPECT_EQ(edge.stats().requests, 2u);
+  EXPECT_EQ(edge.stats().cache_hits, 1u);
+  EXPECT_EQ(edge.stats().origin_fetches, 1u);
+  EXPECT_EQ(edge.stats().bytes_served, 200u);
+}
+
+TEST(EdgeServer, TtlExpiryRefetches) {
+  Rng rng(2);
+  Origin origin(kVirginia);
+  origin.put("obj", Bytes(10, 1), 0);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, /*ttl=*/1000);
+  edge.serve("obj", 0, kZurich, rng);
+  const auto expired = edge.serve("obj", 1000, kZurich, rng);  // == TTL
+  EXPECT_FALSE(expired.cache_hit);
+  EXPECT_EQ(edge.stats().origin_fetches, 2u);
+}
+
+TEST(EdgeServer, TtlZeroAlwaysHitsOrigin) {
+  // The paper's worst-case measurement setup (§VII-B).
+  Rng rng(3);
+  Origin origin(kVirginia);
+  origin.put("obj", Bytes(10, 1), 0);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, /*ttl=*/0);
+  for (TimeMs t = 0; t < 5; ++t) edge.serve("obj", t, kZurich, rng);
+  EXPECT_EQ(edge.stats().origin_fetches, 5u);
+  EXPECT_EQ(edge.stats().cache_hits, 0u);
+}
+
+TEST(EdgeServer, StaleCacheServesNewVersionAfterExpiry) {
+  Rng rng(4);
+  Origin origin(kVirginia);
+  origin.put("obj", {1}, 0);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, /*ttl=*/1000);
+  edge.serve("obj", 0, kZurich, rng);
+  origin.put("obj", {2}, 10);
+  // Within TTL: stale copy served (CDN semantics).
+  auto cached = edge.serve("obj", 500, kZurich, rng);
+  EXPECT_EQ(cached.object->data, (Bytes{1}));
+  // After TTL: fresh copy.
+  auto fresh = edge.serve("obj", 2000, kZurich, rng);
+  EXPECT_EQ(fresh.object->data, (Bytes{2}));
+}
+
+TEST(EdgeServer, PurgeDropsCache) {
+  Rng rng(5);
+  Origin origin(kVirginia);
+  origin.put("obj", {1}, 0);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, /*ttl=*/1'000'000);
+  edge.serve("obj", 0, kZurich, rng);
+  edge.purge("obj");
+  edge.serve("obj", 1, kZurich, rng);
+  EXPECT_EQ(edge.stats().origin_fetches, 2u);
+}
+
+TEST(EdgeServer, MissingObjectNotFound) {
+  Rng rng(6);
+  Origin origin(kVirginia);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, 0);
+  const auto result = edge.serve("nope", 0, kZurich, rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_GT(result.latency_ms, 0.0);
+}
+
+TEST(Cdn, RoutesToNearestEdge) {
+  Cdn cdn = make_global_cdn(0);
+  EXPECT_EQ(cdn.nearest_edge(kZurich).region(), "EU");
+  EXPECT_EQ(cdn.nearest_edge(kTokyo).name(), "nrt");
+  EXPECT_EQ(cdn.nearest_edge({-33.9, 151.2}).region(), "OC");
+}
+
+TEST(Cdn, NearbyClientsGetLowerLatency) {
+  Rng rng(7);
+  Cdn cdn = make_global_cdn(/*ttl=*/3'600'000);
+  cdn.origin().put("obj", Bytes(1000, 1), 0);
+  // Warm the caches.
+  cdn.get("obj", 0, kZurich, rng);
+  cdn.get("obj", 0, kTokyo, rng);
+
+  Summary eu, as;
+  for (int i = 0; i < 50; ++i) {
+    eu.add(cdn.get("obj", 10 + i, kZurich, rng).latency_ms);
+    as.add(cdn.get("obj", 10 + i, kTokyo, rng).latency_ms);
+  }
+  // Both are edge-local: small latencies, far below a Zurich->Virginia trip.
+  EXPECT_LT(eu.mean(), 30.0);
+  EXPECT_LT(as.mean(), 30.0);
+}
+
+TEST(Cdn, MetersBytesAcrossEdges) {
+  Rng rng(8);
+  Cdn cdn = make_global_cdn(0);
+  cdn.origin().put("obj", Bytes(500, 1), 0);
+  cdn.get("obj", 0, kZurich, rng);
+  cdn.get("obj", 0, kTokyo, rng);
+  EXPECT_EQ(cdn.total_bytes_served(), 1000u);
+}
+
+}  // namespace
+}  // namespace ritm::cdn

@@ -1,0 +1,435 @@
+// Crypto substrate tests: FIPS 180-4 vectors for SHA-256/512, RFC 8032
+// vectors for Ed25519, structural properties of hash chains, and randomized
+// robustness checks (bit-flip rejection).
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/ed25519_fe.hpp"
+#include "crypto/ed25519_ge.hpp"
+#include "crypto/ed25519_sc.hpp"
+#include "crypto/hash_chain.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace ritm::crypto {
+namespace {
+
+using ritm::Bytes;
+using ritm::ByteSpan;
+using ritm::from_hex;
+using ritm::to_hex;
+
+ByteSpan span_of(const Bytes& b) { return ByteSpan(b.data(), b.size()); }
+
+template <std::size_t N>
+std::string hex_of(const std::array<std::uint8_t, N>& a) {
+  return to_hex(ByteSpan(a.data(), a.size()));
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  const Bytes msg = ritm::bytes_of("abc");
+  EXPECT_EQ(hex_of(Sha256::hash(span_of(msg))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const Bytes msg =
+      ritm::bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(hex_of(Sha256::hash(span_of(msg))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(span_of(chunk));
+  EXPECT_EQ(hex_of(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes msg = rng.bytes(rng.uniform(500));
+    Sha256 inc;
+    std::size_t off = 0;
+    while (off < msg.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(1 + rng.uniform(97), msg.size() - off);
+      inc.update(ByteSpan(msg.data() + off, take));
+      off += take;
+    }
+    EXPECT_EQ(inc.finish(), Sha256::hash(span_of(msg)));
+  }
+}
+
+TEST(Sha256, Hash20IsTruncation) {
+  const Bytes msg = ritm::bytes_of("ritm");
+  const auto full = Sha256::hash(span_of(msg));
+  const auto trunc = hash20(span_of(msg));
+  EXPECT_TRUE(std::equal(trunc.begin(), trunc.end(), full.begin()));
+}
+
+TEST(Sha256, PairHashMatchesConcat) {
+  Digest20 a{}, b{};
+  a.fill(0x11);
+  b.fill(0x22);
+  Bytes cat;
+  ritm::append(cat, ByteSpan(a.data(), a.size()));
+  ritm::append(cat, ByteSpan(b.data(), b.size()));
+  EXPECT_EQ(hash20_pair(a, b), hash20(span_of(cat)));
+}
+
+// ---------------------------------------------------------------- SHA-512
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hex_of(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  const Bytes msg = ritm::bytes_of("abc");
+  EXPECT_EQ(hex_of(Sha512::hash(span_of(msg))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  const Bytes msg = ritm::bytes_of(
+      "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+      "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu");
+  EXPECT_EQ(hex_of(Sha512::hash(span_of(msg))),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionAs) {
+  Sha512 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(span_of(chunk));
+  EXPECT_EQ(hex_of(h.finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+// ------------------------------------------------------------ field/group
+
+TEST(Fe25519, RoundTripBytes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Bytes raw = rng.bytes(32);
+    raw[31] &= 0x7F;  // stay below 2^255
+    detail::Fe fe = detail::fe_from_bytes(raw.data());
+    std::uint8_t out[32];
+    detail::fe_to_bytes(out, fe);
+    // Round-trips exactly unless the value was >= p (probability ~2^-250).
+    EXPECT_EQ(to_hex(ByteSpan(out, 32)), to_hex(span_of(raw)));
+  }
+}
+
+TEST(Fe25519, MulCommutesAndDistributes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes ab = rng.bytes(32), bb = rng.bytes(32), cb = rng.bytes(32);
+    const auto a = detail::fe_from_bytes(ab.data());
+    const auto b = detail::fe_from_bytes(bb.data());
+    const auto c = detail::fe_from_bytes(cb.data());
+    EXPECT_TRUE(detail::fe_equal(detail::fe_mul(a, b), detail::fe_mul(b, a)));
+    EXPECT_TRUE(detail::fe_equal(
+        detail::fe_mul(a, detail::fe_add(b, c)),
+        detail::fe_add(detail::fe_mul(a, b), detail::fe_mul(a, c))));
+  }
+}
+
+TEST(Fe25519, InvertIsInverse) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes ab = rng.bytes(32);
+    const auto a = detail::fe_from_bytes(ab.data());
+    if (detail::fe_is_zero(a)) continue;
+    const auto inv = detail::fe_invert(a);
+    EXPECT_TRUE(detail::fe_equal(detail::fe_mul(a, inv), detail::fe_one()));
+  }
+}
+
+TEST(Fe25519, SqrtM1Squared) {
+  const auto& i = detail::fe_sqrtm1();
+  EXPECT_TRUE(
+      detail::fe_equal(detail::fe_sq(i), detail::fe_neg(detail::fe_one())));
+}
+
+TEST(Ge25519, BasePointOnCurve) {
+  // -x^2 + y^2 = 1 + d x^2 y^2 for the affine base point.
+  const auto& b = detail::ge_base();
+  const auto zinv = detail::fe_invert(b.z);
+  const auto x = detail::fe_mul(b.x, zinv);
+  const auto y = detail::fe_mul(b.y, zinv);
+  const auto x2 = detail::fe_sq(x), y2 = detail::fe_sq(y);
+  const auto lhs = detail::fe_sub(y2, x2);
+  const auto rhs = detail::fe_add(
+      detail::fe_one(), detail::fe_mul(detail::fe_d(), detail::fe_mul(x2, y2)));
+  EXPECT_TRUE(detail::fe_equal(lhs, rhs));
+}
+
+TEST(Ge25519, AddMatchesDouble) {
+  const auto& b = detail::ge_base();
+  EXPECT_TRUE(detail::ge_equal(detail::ge_add(b, b), detail::ge_double(b)));
+}
+
+TEST(Ge25519, IdentityIsNeutral) {
+  const auto& b = detail::ge_base();
+  EXPECT_TRUE(detail::ge_equal(detail::ge_add(b, detail::ge_identity()), b));
+}
+
+TEST(Ge25519, NegCancels) {
+  const auto& b = detail::ge_base();
+  EXPECT_TRUE(detail::ge_equal(detail::ge_add(b, detail::ge_neg(b)),
+                               detail::ge_identity()));
+}
+
+TEST(Ge25519, ScalarMultSmall) {
+  const auto& b = detail::ge_base();
+  detail::Scalar three{};
+  three[0] = 3;
+  const auto via_scalar = detail::ge_scalarmult(b, three);
+  const auto via_adds = detail::ge_add(detail::ge_add(b, b), b);
+  EXPECT_TRUE(detail::ge_equal(via_scalar, via_adds));
+}
+
+TEST(Ge25519, CompressDecompressRoundTrip) {
+  Rng rng(23);
+  auto p = detail::ge_base();
+  for (int i = 0; i < 20; ++i) {
+    p = detail::ge_double(p);
+    const auto enc = detail::ge_to_bytes(p);
+    const auto q = detail::ge_from_bytes(enc);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_TRUE(detail::ge_equal(p, *q));
+  }
+}
+
+// ------------------------------------------------------------- scalars
+
+TEST(Sc25519, ReduceSmallIdentity) {
+  detail::Scalar s{};
+  s[0] = 42;
+  EXPECT_EQ(detail::sc_reduce32(s), s);
+}
+
+TEST(Sc25519, LReducesToZero) {
+  // L itself must reduce to zero.
+  std::array<std::uint8_t, 64> l{};
+  const Bytes l_bytes = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  std::copy(l_bytes.begin(), l_bytes.end(), l.begin());
+  const auto r = detail::sc_reduce64(l);
+  for (auto b : r) EXPECT_EQ(b, 0);
+}
+
+TEST(Sc25519, MulAddMatchesManualSmall) {
+  detail::Scalar a{}, b{}, c{};
+  a[0] = 7;
+  b[0] = 9;
+  c[0] = 5;
+  const auto r = detail::sc_muladd(a, b, c);
+  EXPECT_EQ(r[0], 68);
+  for (std::size_t i = 1; i < r.size(); ++i) EXPECT_EQ(r[i], 0);
+}
+
+TEST(Sc25519, CanonicalBoundary) {
+  const Bytes l_bytes = from_hex(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  detail::Scalar l{};
+  std::copy(l_bytes.begin(), l_bytes.end(), l.begin());
+  EXPECT_FALSE(detail::sc_is_canonical(l));
+  detail::Scalar l_minus_1 = l;
+  l_minus_1[0] -= 1;
+  EXPECT_TRUE(detail::sc_is_canonical(l_minus_1));
+  detail::Scalar zero{};
+  EXPECT_TRUE(detail::sc_is_canonical(zero));
+}
+
+// ------------------------------------------------------------- Ed25519
+
+struct Rfc8032Vector {
+  const char* seed;
+  const char* public_key;
+  const char* message;
+  const char* signature;
+};
+
+// Test vectors from RFC 8032 §7.1 (TEST 1, TEST 2, TEST 3).
+const Rfc8032Vector kVectors[] = {
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a", "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c", "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+class Rfc8032Test : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Rfc8032Test, PublicKeyDerivation) {
+  const auto& v = GetParam();
+  Seed seed{};
+  const Bytes sb = from_hex(v.seed);
+  std::copy(sb.begin(), sb.end(), seed.begin());
+  EXPECT_EQ(hex_of(derive_public_key(seed)), v.public_key);
+}
+
+TEST_P(Rfc8032Test, Sign) {
+  const auto& v = GetParam();
+  Seed seed{};
+  const Bytes sb = from_hex(v.seed);
+  std::copy(sb.begin(), sb.end(), seed.begin());
+  const Bytes msg = from_hex(v.message);
+  EXPECT_EQ(hex_of(sign(span_of(msg), seed)), v.signature);
+}
+
+TEST_P(Rfc8032Test, Verify) {
+  const auto& v = GetParam();
+  PublicKey pub{};
+  const Bytes pb = from_hex(v.public_key);
+  std::copy(pb.begin(), pb.end(), pub.begin());
+  Signature sig{};
+  const Bytes gb = from_hex(v.signature);
+  std::copy(gb.begin(), gb.end(), sig.begin());
+  const Bytes msg = from_hex(v.message);
+  EXPECT_TRUE(verify(span_of(msg), sig, pub));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rfc8032, Rfc8032Test, ::testing::ValuesIn(kVectors));
+
+TEST(Ed25519, SignVerifyRoundTrip) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    Seed seed{};
+    const Bytes sb = rng.bytes(32);
+    std::copy(sb.begin(), sb.end(), seed.begin());
+    const auto kp = keypair_from_seed(seed);
+    const Bytes msg = rng.bytes(1 + rng.uniform(200));
+    const auto sig = sign(span_of(msg), kp.seed);
+    EXPECT_TRUE(verify(span_of(msg), sig, kp.public_key));
+  }
+}
+
+TEST(Ed25519, BitFlipsAreRejected) {
+  Rng rng(37);
+  Seed seed{};
+  const Bytes sb = rng.bytes(32);
+  std::copy(sb.begin(), sb.end(), seed.begin());
+  const auto kp = keypair_from_seed(seed);
+  const Bytes msg = rng.bytes(64);
+  const auto sig = sign(span_of(msg), kp.seed);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // Flip one random bit in the signature.
+    Signature bad = sig;
+    const std::size_t bit = rng.uniform(bad.size() * 8);
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(verify(span_of(msg), bad, kp.public_key));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    // Flip one random bit in the message.
+    Bytes bad = msg;
+    const std::size_t bit = rng.uniform(bad.size() * 8);
+    bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(verify(span_of(bad), sig, kp.public_key));
+  }
+}
+
+TEST(Ed25519, WrongKeyRejected) {
+  Rng rng(41);
+  Seed s1{}, s2{};
+  auto b1 = rng.bytes(32), b2 = rng.bytes(32);
+  std::copy(b1.begin(), b1.end(), s1.begin());
+  std::copy(b2.begin(), b2.end(), s2.begin());
+  const auto kp1 = keypair_from_seed(s1);
+  const auto kp2 = keypair_from_seed(s2);
+  const Bytes msg = ritm::bytes_of("signed root");
+  const auto sig = sign(span_of(msg), kp1.seed);
+  EXPECT_TRUE(verify(span_of(msg), sig, kp1.public_key));
+  EXPECT_FALSE(verify(span_of(msg), sig, kp2.public_key));
+}
+
+TEST(Ed25519, NonCanonicalSRejected) {
+  // Construct a signature whose S >= L; verify must fail before any group op.
+  Signature sig{};
+  sig.fill(0xFF);
+  PublicKey pub{};
+  pub.fill(0);
+  pub[0] = 1;
+  const Bytes msg = ritm::bytes_of("x");
+  EXPECT_FALSE(verify(span_of(msg), sig, pub));
+}
+
+// ------------------------------------------------------------ hash chain
+
+TEST(HashChain, StatementVerifies) {
+  Digest20 v{};
+  v.fill(0xAB);
+  HashChain chain(v, 100);
+  for (std::size_t p = 0; p <= 100; ++p) {
+    EXPECT_TRUE(HashChain::verify(chain.statement(p), p, chain.anchor()));
+  }
+}
+
+TEST(HashChain, WrongStepCountFails) {
+  Digest20 v{};
+  v.fill(0xCD);
+  HashChain chain(v, 50);
+  EXPECT_FALSE(HashChain::verify(chain.statement(10), 9, chain.anchor()));
+  EXPECT_FALSE(HashChain::verify(chain.statement(10), 11, chain.anchor()));
+}
+
+TEST(HashChain, ForgedStatementFails) {
+  Digest20 v{};
+  v.fill(0xEF);
+  HashChain chain(v, 50);
+  Digest20 forged = chain.statement(10);
+  forged[0] ^= 1;
+  EXPECT_FALSE(HashChain::verify(forged, 10, chain.anchor()));
+}
+
+TEST(HashChain, StatementBeyondLengthThrows) {
+  Digest20 v{};
+  HashChain chain(v, 5);
+  EXPECT_THROW(chain.statement(6), std::out_of_range);
+}
+
+TEST(HashChain, AnchorIsStatementZero) {
+  Digest20 v{};
+  v.fill(0x33);
+  HashChain chain(v, 7);
+  EXPECT_EQ(chain.statement(0), chain.anchor());
+}
+
+TEST(HashChain, CannotWalkBackward) {
+  // Knowing H^(m-p) gives you H^(m-p+1).. for free but the test asserts the
+  // forward relation: advancing a later statement yields an earlier one.
+  Digest20 v{};
+  v.fill(0x44);
+  HashChain chain(v, 20);
+  EXPECT_EQ(HashChain::advance(chain.statement(10), 3), chain.statement(7));
+}
+
+}  // namespace
+}  // namespace ritm::crypto

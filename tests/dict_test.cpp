@@ -1,0 +1,489 @@
+// Authenticated-dictionary tests: Fig. 2 operations (insert / update /
+// prove), Merkle proof verification, signed roots, wire messages, and the
+// append-only/consistency invariants from DESIGN.md §5.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "dict/dictionary.hpp"
+#include "dict/messages.hpp"
+#include "dict/signed_root.hpp"
+
+namespace ritm::dict {
+namespace {
+
+using cert::SerialNumber;
+
+SerialNumber sn(std::uint64_t v) { return SerialNumber::from_uint(v); }
+
+std::vector<SerialNumber> serial_range(std::uint64_t first,
+                                       std::uint64_t count) {
+  std::vector<SerialNumber> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(sn(first + i));
+  return out;
+}
+
+// ------------------------------------------------------------- basics
+
+TEST(Dictionary, EmptyDictionary) {
+  Dictionary d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.root(), empty_root());
+  EXPECT_FALSE(d.contains(sn(1)));
+}
+
+TEST(Dictionary, InsertAssignsConsecutiveNumbers) {
+  Dictionary d;
+  const auto added = d.insert({sn(30), sn(10), sn(20)});
+  ASSERT_EQ(added.size(), 3u);
+  EXPECT_EQ(added[0].number, 1u);
+  EXPECT_EQ(added[1].number, 2u);
+  EXPECT_EQ(added[2].number, 3u);
+  EXPECT_EQ(d.number_of(sn(30)), 1u);
+  EXPECT_EQ(d.number_of(sn(10)), 2u);
+  EXPECT_EQ(d.number_of(sn(20)), 3u);
+}
+
+TEST(Dictionary, InsertIsIdempotent) {
+  Dictionary d;
+  d.insert({sn(1)});
+  const auto root1 = d.root();
+  const auto added = d.insert({sn(1)});
+  EXPECT_TRUE(added.empty());
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.root(), root1);
+}
+
+TEST(Dictionary, RootChangesOnInsert) {
+  Dictionary d;
+  std::set<std::string> roots;
+  roots.insert(ritm::to_hex(ByteSpan(d.root().data(), d.root().size())));
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    d.insert({sn(i)});
+    roots.insert(ritm::to_hex(ByteSpan(d.root().data(), d.root().size())));
+  }
+  EXPECT_EQ(roots.size(), 21u);  // every insertion changes the root
+}
+
+TEST(Dictionary, OrderOfBatchInsertionMatters) {
+  // Numbering depends on insertion order, so the roots differ — exactly the
+  // property that makes revocation reordering detectable (§V).
+  Dictionary a, b;
+  a.insert({sn(1), sn(2)});
+  b.insert({sn(2), sn(1)});
+  EXPECT_NE(a.root(), b.root());
+}
+
+TEST(Dictionary, SameContentSameRoot) {
+  Dictionary a, b;
+  a.insert({sn(5), sn(3), sn(9)});
+  b.insert({sn(5)});
+  b.insert({sn(3)});
+  b.insert({sn(9)});
+  EXPECT_EQ(a.root(), b.root());  // same serials in same numbering order
+}
+
+TEST(Dictionary, EntriesFromReturnsSuffix) {
+  Dictionary d;
+  d.insert(serial_range(100, 10));
+  const auto tail = d.entries_from(8);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].number, 8u);
+  EXPECT_EQ(tail[2].number, 10u);
+  EXPECT_TRUE(d.entries_from(11).empty());
+  EXPECT_EQ(d.entries_from(0).size(), 10u);
+  EXPECT_EQ(d.entries_from(1).size(), 10u);
+}
+
+// ------------------------------------------------------------- proofs
+
+class ProofTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProofTest, PresenceProofsVerifyForAllEntries) {
+  const std::uint64_t n = GetParam();
+  Dictionary d;
+  // Spread serials so absence queries exist between them.
+  std::vector<SerialNumber> serials;
+  for (std::uint64_t i = 0; i < n; ++i) serials.push_back(sn(2 * i + 1));
+  d.insert(serials);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto proof = d.prove(sn(2 * i + 1));
+    EXPECT_EQ(proof.type, Proof::Type::presence);
+    EXPECT_TRUE(verify_proof(proof, sn(2 * i + 1), d.root(), d.size()));
+  }
+}
+
+TEST_P(ProofTest, AbsenceProofsVerifyBetweenAllEntries) {
+  const std::uint64_t n = GetParam();
+  Dictionary d;
+  std::vector<SerialNumber> serials;
+  for (std::uint64_t i = 0; i < n; ++i) serials.push_back(sn(2 * i + 1));
+  d.insert(serials);
+  // Query every even value: before, between, and after the leaves.
+  for (std::uint64_t q = 0; q <= 2 * n; q += 2) {
+    const auto proof = d.prove(sn(q));
+    EXPECT_EQ(proof.type, Proof::Type::absence);
+    EXPECT_TRUE(verify_proof(proof, sn(q), d.root(), d.size()))
+        << "absence proof failed for q=" << q << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, ProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           33, 100, 255, 256, 257));
+
+TEST(Proof, EmptyDictionaryAbsence) {
+  Dictionary d;
+  const auto proof = d.prove(sn(42));
+  EXPECT_EQ(proof.type, Proof::Type::absence);
+  EXPECT_FALSE(proof.left || proof.right);
+  EXPECT_TRUE(verify_proof(proof, sn(42), d.root(), 0));
+}
+
+TEST(Proof, WrongRootRejected) {
+  Dictionary d;
+  d.insert(serial_range(1, 50));
+  auto proof = d.prove(sn(25));
+  crypto::Digest20 wrong = d.root();
+  wrong[0] ^= 1;
+  EXPECT_FALSE(verify_proof(proof, sn(25), wrong, d.size()));
+}
+
+TEST(Proof, WrongCountRejected) {
+  // The root alone binds the tree contents; n comes from the signed root.
+  // Verification must still reject a count implying a different tree shape
+  // (an off-by-one count with an identical shape is harmless: the recomputed
+  // root could only match if the contents are the ones the CA signed).
+  Dictionary d;
+  d.insert(serial_range(1, 50));
+  auto proof = d.prove(sn(25));
+  EXPECT_FALSE(verify_proof(proof, sn(25), d.root(), 100));
+  EXPECT_FALSE(verify_proof(proof, sn(25), d.root(), 25));
+  EXPECT_FALSE(verify_proof(proof, sn(25), d.root(), 0));
+}
+
+TEST(Proof, PresenceProofForDifferentSerialRejected) {
+  Dictionary d;
+  d.insert(serial_range(1, 50));
+  auto proof = d.prove(sn(25));
+  EXPECT_FALSE(verify_proof(proof, sn(26), d.root(), d.size()));
+}
+
+TEST(Proof, AbsenceProofCannotHideRevokedSerial) {
+  // An adversary (compromised RA) must not be able to take a valid absence
+  // proof for serial x and pass it off for revoked serial y.
+  Dictionary d;
+  d.insert({sn(10), sn(20), sn(30)});
+  auto absent_proof = d.prove(sn(15));  // valid absence between 10 and 20
+  EXPECT_TRUE(verify_proof(absent_proof, sn(15), d.root(), d.size()));
+  EXPECT_FALSE(verify_proof(absent_proof, sn(20), d.root(), d.size()));
+  EXPECT_FALSE(verify_proof(absent_proof, sn(10), d.root(), d.size()));
+}
+
+TEST(Proof, TamperedPathRejected) {
+  Dictionary d;
+  d.insert(serial_range(1, 64));
+  auto proof = d.prove(sn(32));
+  ASSERT_TRUE(proof.leaf);
+  ASSERT_FALSE(proof.leaf->path.empty());
+  proof.leaf->path[0][0] ^= 1;
+  EXPECT_FALSE(verify_proof(proof, sn(32), d.root(), d.size()));
+}
+
+TEST(Proof, TamperedIndexRejected) {
+  Dictionary d;
+  d.insert(serial_range(1, 64));
+  auto proof = d.prove(sn(32));
+  ASSERT_TRUE(proof.leaf);
+  proof.leaf->index += 1;
+  EXPECT_FALSE(verify_proof(proof, sn(32), d.root(), d.size()));
+}
+
+TEST(Proof, NonAdjacentAbsenceNeighboursRejected) {
+  Dictionary d;
+  d.insert({sn(10), sn(20), sn(30), sn(40)});
+  // Construct a fake absence proof for 25 from the leaves 10 and 40 (indices
+  // 0 and 3): not adjacent, must be rejected even though both paths verify.
+  auto p10 = d.prove(sn(10));
+  auto p40 = d.prove(sn(40));
+  Proof fake;
+  fake.type = Proof::Type::absence;
+  fake.left = *p10.leaf;
+  fake.right = *p40.leaf;
+  EXPECT_FALSE(verify_proof(fake, sn(25), d.root(), d.size()));
+}
+
+TEST(Proof, EncodeDecodeRoundTrip) {
+  Dictionary d;
+  d.insert(serial_range(1, 100));
+  for (std::uint64_t q : {std::uint64_t(50), std::uint64_t(1000)}) {
+    const auto proof = d.prove(sn(q));
+    const Bytes enc = proof.encode();
+    const auto dec = Proof::decode(ByteSpan(enc));
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(*dec, proof);
+    EXPECT_TRUE(verify_proof(*dec, sn(q), d.root(), d.size()));
+  }
+}
+
+TEST(Proof, DecodeRejectsCorruptInput) {
+  Dictionary d;
+  d.insert(serial_range(1, 10));
+  Bytes enc = d.prove(sn(5)).encode();
+  EXPECT_FALSE(Proof::decode(ByteSpan(enc.data(), enc.size() - 1)).has_value());
+  Bytes extended = enc;
+  extended.push_back(0);
+  EXPECT_FALSE(Proof::decode(ByteSpan(extended)).has_value());
+  Bytes bad_type = enc;
+  bad_type[0] = 7;
+  EXPECT_FALSE(Proof::decode(ByteSpan(bad_type)).has_value());
+}
+
+TEST(Proof, SizeGrowsLogarithmically) {
+  Dictionary small, large;
+  small.insert(serial_range(1, 64));
+  large.insert(serial_range(1, 65536));
+  const auto ps = small.prove(sn(32)).wire_size();
+  const auto pl = large.prove(sn(32768)).wire_size();
+  // 1024x more leaves should add ~10 path hashes (~200 bytes), not 1024x.
+  EXPECT_LT(pl, ps + 16 * 20);
+  EXPECT_GT(pl, ps);
+}
+
+// ------------------------------------------------------------- update
+
+TEST(Update, ReplayMatchesCaRoot) {
+  Rng rng(99);
+  Dictionary ca_dict, ra_dict;
+  // Arbitrary batch splits (DESIGN.md §5): RA replays in the same order.
+  std::uint64_t next_serial = 1;
+  for (int round = 0; round < 20; ++round) {
+    const std::uint64_t batch = 1 + rng.uniform(40);
+    const auto serials = serial_range(next_serial, batch);
+    next_serial += batch;
+    ca_dict.insert(serials);
+    EXPECT_TRUE(ra_dict.update(serials, ca_dict.root(), ca_dict.size()));
+  }
+  EXPECT_EQ(ra_dict.root(), ca_dict.root());
+  EXPECT_EQ(ra_dict.size(), ca_dict.size());
+}
+
+TEST(Update, RejectsWrongRootAndRollsBack) {
+  Dictionary ca_dict, ra_dict;
+  ca_dict.insert(serial_range(1, 10));
+  ra_dict.update(serial_range(1, 10), ca_dict.root(), ca_dict.size());
+
+  crypto::Digest20 bogus = ca_dict.root();
+  bogus[5] ^= 0xFF;
+  const auto before_root = ra_dict.root();
+  EXPECT_FALSE(ra_dict.update(serial_range(11, 5), bogus, 15));
+  EXPECT_EQ(ra_dict.size(), 10u);
+  EXPECT_EQ(ra_dict.root(), before_root);
+  EXPECT_FALSE(ra_dict.contains(sn(11)));
+}
+
+TEST(Update, RejectsWrongCount) {
+  Dictionary ca_dict, ra_dict;
+  ca_dict.insert(serial_range(1, 10));
+  // Root is right but claimed n is wrong -> reject.
+  EXPECT_FALSE(ra_dict.update(serial_range(1, 10), ca_dict.root(), 11));
+  EXPECT_EQ(ra_dict.size(), 0u);
+}
+
+TEST(Update, DetectsReordering) {
+  // A CA that shows reordered revocations to an RA produces a different
+  // root, so the RA rejects the update (§V revocation reordering).
+  Dictionary ca_dict, ra_dict;
+  ca_dict.insert({sn(1), sn(2)});
+  EXPECT_FALSE(ra_dict.update({sn(2), sn(1)}, ca_dict.root(), 2));
+  EXPECT_EQ(ra_dict.size(), 0u);
+}
+
+TEST(Update, DetectsDeletion) {
+  Dictionary ca_dict, ra_dict;
+  ca_dict.insert({sn(1), sn(2), sn(3)});
+  // CA tries to hide revocation 2 from this RA.
+  EXPECT_FALSE(ra_dict.update({sn(1), sn(3)}, ca_dict.root(), 3));
+  EXPECT_FALSE(ra_dict.update({sn(1), sn(3)}, ca_dict.root(), 2));
+}
+
+TEST(Update, LargeBatchPath) {
+  Dictionary ca_dict, ra_dict;
+  const auto serials = serial_range(1, 5000);
+  ca_dict.insert(serials);
+  EXPECT_TRUE(ra_dict.update(serials, ca_dict.root(), 5000));
+  EXPECT_EQ(ra_dict.root(), ca_dict.root());
+}
+
+// ------------------------------------------------------------- randomized
+
+TEST(DictionaryProperty, RandomizedProofsAlwaysVerify) {
+  Rng rng(1234);
+  Dictionary d;
+  std::set<std::uint64_t> inserted;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<SerialNumber> batch;
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t v = rng.uniform(100000);
+      batch.push_back(sn(v));
+      inserted.insert(v);
+    }
+    d.insert(batch);
+    // Probe random values, present or absent.
+    for (int i = 0; i < 30; ++i) {
+      const std::uint64_t v = rng.uniform(100000);
+      const auto proof = d.prove(sn(v));
+      EXPECT_EQ(proof.type == Proof::Type::presence, inserted.count(v) == 1);
+      EXPECT_TRUE(verify_proof(proof, sn(v), d.root(), d.size()));
+    }
+  }
+}
+
+TEST(DictionaryProperty, VariableLengthSerialsSortLexicographically) {
+  Dictionary d;
+  // 0x01, 0x0102, 0x02 — lexicographic order: 0x01 < 0x0102 < 0x02.
+  d.insert({SerialNumber{{0x02}}, SerialNumber{{0x01, 0x02}},
+            SerialNumber{{0x01}}});
+  for (const auto& s : {SerialNumber{{0x01}}, SerialNumber{{0x01, 0x02}},
+                        SerialNumber{{0x02}}}) {
+    const auto p = d.prove(s);
+    EXPECT_EQ(p.type, Proof::Type::presence);
+    EXPECT_TRUE(verify_proof(p, s, d.root(), d.size()));
+  }
+  const SerialNumber between{{0x01, 0x01}};
+  const auto p = d.prove(between);
+  EXPECT_EQ(p.type, Proof::Type::absence);
+  EXPECT_TRUE(verify_proof(p, between, d.root(), d.size()));
+}
+
+// ------------------------------------------------------------- signed root
+
+TEST(SignedRoot, MakeAndVerify) {
+  Rng rng(7);
+  crypto::Seed seed{};
+  auto b = rng.bytes(32);
+  std::copy(b.begin(), b.end(), seed.begin());
+  const auto kp = crypto::keypair_from_seed(seed);
+
+  Dictionary d;
+  d.insert(serial_range(1, 5));
+  crypto::Digest20 anchor{};
+  anchor.fill(0x42);
+  const auto sr = SignedRoot::make("CA-1", d.root(), d.size(), anchor,
+                                   1700000000, kp.seed);
+  EXPECT_TRUE(sr.verify(kp.public_key));
+
+  auto tampered = sr;
+  tampered.n += 1;
+  EXPECT_FALSE(tampered.verify(kp.public_key));
+}
+
+TEST(SignedRoot, EncodeDecodeRoundTrip) {
+  Rng rng(8);
+  crypto::Seed seed{};
+  auto b = rng.bytes(32);
+  std::copy(b.begin(), b.end(), seed.begin());
+  const auto kp = crypto::keypair_from_seed(seed);
+  crypto::Digest20 root{}, anchor{};
+  root.fill(1);
+  anchor.fill(2);
+  const auto sr = SignedRoot::make("CA-XYZ", root, 77, anchor, 123456, kp.seed);
+  const Bytes enc = sr.encode();
+  const auto dec = SignedRoot::decode(ByteSpan(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, sr);
+  EXPECT_TRUE(dec->verify(kp.public_key));
+}
+
+TEST(SignedRoot, SplitViewIsProvable) {
+  // Two signed roots with the same n but different roots constitute a proof
+  // of CA misbehaviour. Both verify, so the evidence is non-repudiable.
+  Rng rng(9);
+  crypto::Seed seed{};
+  auto b = rng.bytes(32);
+  std::copy(b.begin(), b.end(), seed.begin());
+  const auto kp = crypto::keypair_from_seed(seed);
+
+  Dictionary view1, view2;
+  view1.insert({sn(1), sn(2)});
+  view2.insert({sn(1), sn(3)});  // hides revocation of 2, shows 3 instead
+  crypto::Digest20 anchor{};
+  const auto sr1 =
+      SignedRoot::make("CA-1", view1.root(), 2, anchor, 1000, kp.seed);
+  const auto sr2 =
+      SignedRoot::make("CA-1", view2.root(), 2, anchor, 1000, kp.seed);
+  EXPECT_TRUE(sr1.verify(kp.public_key));
+  EXPECT_TRUE(sr2.verify(kp.public_key));
+  EXPECT_EQ(sr1.n, sr2.n);
+  EXPECT_NE(sr1.root, sr2.root);  // the split view, cryptographically pinned
+}
+
+// ------------------------------------------------------------- messages
+
+TEST(Messages, RevocationIssuanceRoundTrip) {
+  RevocationIssuance m;
+  m.serials = serial_range(1, 3);
+  m.signed_root.ca = "CA-1";
+  m.signed_root.n = 3;
+  const Bytes enc = m.encode();
+  const auto dec = RevocationIssuance::decode(ByteSpan(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, m);
+}
+
+TEST(Messages, FreshnessStatementRoundTrip) {
+  FreshnessStatement m;
+  m.ca = "CA-2";
+  m.statement.fill(0xAA);
+  const Bytes enc = m.encode();
+  const auto dec = FreshnessStatement::decode(ByteSpan(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, m);
+}
+
+TEST(Messages, RevocationStatusRoundTripAndSize) {
+  Dictionary d;
+  d.insert(serial_range(1, 339557 / 100));  // scaled-down largest CRL
+  RevocationStatus status;
+  status.proof = d.prove(sn(424242));
+  status.signed_root.ca = "CA-1";
+  status.signed_root.n = d.size();
+  status.signed_root.root = d.root();
+  status.freshness.fill(0x55);
+  const Bytes enc = status.encode();
+  const auto dec = RevocationStatus::decode(ByteSpan(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, status);
+  // Paper §VII-D: revocation status is a few hundred bytes, not kilobytes.
+  EXPECT_LT(status.wire_size(), 1200u);
+  EXPECT_GT(status.wire_size(), 100u);
+}
+
+TEST(Messages, SyncRoundTrip) {
+  SyncRequest req{"CA-1", 41};
+  const auto req_dec = SyncRequest::decode(ByteSpan(req.encode()));
+  ASSERT_TRUE(req_dec.has_value());
+  EXPECT_EQ(*req_dec, req);
+
+  SyncResponse resp;
+  resp.ca = "CA-1";
+  resp.entries = {Entry{sn(100), 42}, Entry{sn(50), 43}};
+  resp.freshness.fill(0x77);
+  const auto resp_dec = SyncResponse::decode(ByteSpan(resp.encode()));
+  ASSERT_TRUE(resp_dec.has_value());
+  EXPECT_EQ(*resp_dec, resp);
+}
+
+TEST(Messages, DecodeRejectsTruncation) {
+  RevocationIssuance m;
+  m.serials = serial_range(1, 2);
+  const Bytes enc = m.encode();
+  for (std::size_t cut = 0; cut < enc.size(); cut += 3) {
+    EXPECT_FALSE(RevocationIssuance::decode(ByteSpan(enc.data(), cut)));
+  }
+}
+
+}  // namespace
+}  // namespace ritm::dict

@@ -1,0 +1,497 @@
+// RA tests: dictionary store acceptance rules, DPI classification, the
+// Fig. 3 flow state machine, periodic status refresh, multi-RA handling,
+// session resumption, and the CDN updater with gap recovery.
+#include <gtest/gtest.h>
+
+#include "ca/authority.hpp"
+#include "ca/distribution.hpp"
+#include "ra/agent.hpp"
+#include "ra/dpi.hpp"
+#include "ra/store.hpp"
+#include "ra/updater.hpp"
+#include "tls/session.hpp"
+
+namespace ritm::ra {
+namespace {
+
+using cert::SerialNumber;
+
+ca::CertificationAuthority make_ca(std::uint64_t seed,
+                                   UnixSeconds delta = 10) {
+  Rng rng(seed);
+  ca::CertificationAuthority::Config cfg;
+  cfg.id = "CA-1";
+  cfg.delta = delta;
+  cfg.chain_length = 64;
+  return ca::CertificationAuthority(cfg, rng, 1000);
+}
+
+// ------------------------------------------------------------- store
+
+TEST(Store, AppliesHonestIssuance) {
+  auto ca = make_ca(1);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  const auto msg = ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  EXPECT_EQ(store.apply_issuance(msg, 1000), ApplyResult::ok);
+  EXPECT_EQ(store.have_n("CA-1"), 1u);
+}
+
+TEST(Store, RejectsUnknownCa) {
+  auto ca = make_ca(2);
+  DictionaryStore store;  // CA never registered
+  const auto msg = ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  EXPECT_EQ(store.apply_issuance(msg, 1000), ApplyResult::unknown_ca);
+}
+
+TEST(Store, RejectsForgedSignature) {
+  auto ca = make_ca(3);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  auto msg = ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  msg.signed_root.signature[0] ^= 1;
+  EXPECT_EQ(store.apply_issuance(msg, 1000), ApplyResult::bad_signature);
+}
+
+TEST(Store, DetectsGapAndFlagsSync) {
+  auto ca = make_ca(4);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  ca.revoke({SerialNumber::from_uint(1)}, 1000);  // missed by this RA
+  const auto second = ca.revoke({SerialNumber::from_uint(2)}, 1010);
+  EXPECT_EQ(store.apply_issuance(second, 1010), ApplyResult::gap_detected);
+  EXPECT_TRUE(store.needs_sync("CA-1"));
+  EXPECT_EQ(store.have_n("CA-1"), 0u);
+}
+
+TEST(Store, SyncRecoversFromGap) {
+  auto ca = make_ca(5);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  ca.revoke({SerialNumber::from_uint(2)}, 1010);
+
+  dict::SyncResponse resp;
+  resp.ca = ca.id();
+  resp.entries = ca.dictionary().entries_from(store.have_n("CA-1") + 1);
+  resp.signed_root = ca.signed_root();
+  resp.freshness = ca.freshness_at(1010);
+  EXPECT_EQ(store.apply_sync(resp, 1010), ApplyResult::ok);
+  EXPECT_EQ(store.have_n("CA-1"), 2u);
+  EXPECT_FALSE(store.needs_sync("CA-1"));
+}
+
+TEST(Store, FreshnessAcceptedWithinTolerance) {
+  auto ca = make_ca(6, /*delta=*/10);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+
+  // Statement for period 2, RA clock at period 2 -> accepted.
+  const dict::FreshnessStatement msg{ca.id(), ca.freshness_at(1025)};
+  EXPECT_EQ(store.apply_freshness(msg, 1025), ApplyResult::ok);
+  // Statement for period 2, RA clock at period 3 -> still within tolerance.
+  EXPECT_EQ(store.apply_freshness(msg, 1035), ApplyResult::ok);
+  // Statement for period 2, RA clock at period 9 -> stale.
+  EXPECT_EQ(store.apply_freshness(msg, 1095), ApplyResult::bad_freshness);
+}
+
+TEST(Store, FreshnessForgedRejected) {
+  auto ca = make_ca(7);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+  crypto::Digest20 forged{};
+  forged.fill(0x66);
+  EXPECT_EQ(store.apply_freshness({ca.id(), forged}, 1010),
+            ApplyResult::bad_freshness);
+}
+
+TEST(Store, StatusForServesProofs) {
+  auto ca = make_ca(8);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(5)}, 1000), 1000);
+
+  const auto revoked = store.status_for("CA-1", SerialNumber::from_uint(5));
+  ASSERT_TRUE(revoked.has_value());
+  EXPECT_EQ(revoked->proof.type, dict::Proof::Type::presence);
+
+  const auto valid = store.status_for("CA-1", SerialNumber::from_uint(6));
+  ASSERT_TRUE(valid.has_value());
+  EXPECT_EQ(valid->proof.type, dict::Proof::Type::absence);
+  EXPECT_TRUE(dict::verify_proof(valid->proof, SerialNumber::from_uint(6),
+                                 valid->signed_root.root,
+                                 valid->signed_root.n));
+
+  EXPECT_FALSE(store.status_for("CA-??", SerialNumber::from_uint(5)));
+}
+
+TEST(Store, CrossCheckConsistentRootIsSilent) {
+  auto ca = make_ca(9);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  const auto msg = ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  store.apply_issuance(msg, 1000);
+  EXPECT_FALSE(store.cross_check(msg.signed_root).has_value());
+}
+
+// ------------------------------------------------------------- DPI
+
+class DpiTest : public ::testing::Test {
+ protected:
+  Rng rng_{77};
+  sim::Endpoint client_{sim::Endpoint::parse_ip("12.34.56.78"), 9012};
+  sim::Endpoint server_{sim::Endpoint::parse_ip("98.76.54.32"), 443};
+};
+
+TEST_F(DpiTest, ClassifiesNonTls) {
+  EXPECT_FALSE(is_tls(ByteSpan(Bytes{'G', 'E', 'T', ' ', '/'})));
+  const auto in = inspect(ByteSpan(Bytes{0x00, 0x01, 0x02}));
+  EXPECT_EQ(in.kind, Inspection::Kind::not_tls);
+}
+
+TEST_F(DpiTest, ClassifiesClientHello) {
+  const auto pkt = tls::make_client_hello(client_, server_, rng_, true);
+  const auto in = inspect(ByteSpan(pkt.payload));
+  EXPECT_EQ(in.kind, Inspection::Kind::client_hello);
+  EXPECT_TRUE(in.ritm_offered);
+}
+
+TEST_F(DpiTest, ClassifiesServerFlightWithChain) {
+  cert::Certificate leaf;
+  leaf.serial = SerialNumber::from_uint(0x73E10A5, 4);
+  leaf.issuer = "CA-1";
+  leaf.subject = "example.com";
+  const auto pkt =
+      tls::make_server_flight(client_, server_, rng_, {leaf}, false);
+  const auto in = inspect(ByteSpan(pkt.payload));
+  EXPECT_EQ(in.kind, Inspection::Kind::server_flight);
+  ASSERT_TRUE(in.chain.has_value());
+  EXPECT_EQ(in.chain->front().issuer, "CA-1");
+}
+
+TEST_F(DpiTest, AttachAndStripStatus) {
+  auto pkt = tls::make_app_data(server_, client_, {9, 9});
+  dict::RevocationStatus status;
+  status.signed_root.ca = "CA-1";
+  attach_status(pkt, status);
+
+  const auto in = inspect(ByteSpan(pkt.payload));
+  ASSERT_TRUE(in.existing_status.has_value());
+  EXPECT_EQ(in.existing_status->signed_root.ca, "CA-1");
+
+  const auto stripped = strip_status(pkt);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].signed_root.ca, "CA-1");
+  // Stripped payload is the original app-data record.
+  const auto in2 = inspect(ByteSpan(pkt.payload));
+  EXPECT_FALSE(in2.existing_status.has_value());
+  EXPECT_EQ(in2.kind, Inspection::Kind::app_data);
+}
+
+TEST_F(DpiTest, ReplaceStatusKeepsOneCopy) {
+  auto pkt = tls::make_app_data(server_, client_, {1});
+  dict::RevocationStatus old_status, new_status;
+  old_status.signed_root.ca = "CA-1";
+  old_status.signed_root.n = 1;
+  new_status.signed_root.ca = "CA-1";
+  new_status.signed_root.n = 2;
+  attach_status(pkt, old_status);
+  replace_status(pkt, new_status);
+  auto stripped = strip_status(pkt);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].signed_root.n, 2u);
+}
+
+TEST_F(DpiTest, ConfirmRitmSetsExtension) {
+  cert::Certificate leaf;
+  leaf.serial = SerialNumber::from_uint(1);
+  leaf.issuer = "CA-1";
+  auto pkt = tls::make_server_flight(client_, server_, rng_, {leaf}, false);
+  EXPECT_TRUE(confirm_ritm(pkt));
+  const auto in = inspect(ByteSpan(pkt.payload));
+  ASSERT_TRUE(in.server_hello.has_value());
+  EXPECT_TRUE(in.server_hello->confirms_ritm());
+  // Chain must survive the rewrite.
+  ASSERT_TRUE(in.chain.has_value());
+  EXPECT_EQ(in.chain->front().issuer, "CA-1");
+}
+
+// ------------------------------------------------------------- agent
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest() : ca_(make_ca(20)), agent_({}, &store_) {
+    store_.register_ca(ca_.id(), ca_.public_key(), ca_.delta());
+    // Baseline: one revocation so the dictionary is non-empty.
+    store_.apply_issuance(ca_.revoke({SerialNumber::from_uint(999)}, 1000),
+                          1000);
+    leaf_.serial = SerialNumber::from_uint(0x1234, 3);
+    leaf_.issuer = "CA-1";
+    leaf_.subject = "example.com";
+  }
+
+  sim::Packet client_hello(bool ritm = true) {
+    return tls::make_client_hello(client_, server_, rng_, ritm);
+  }
+  sim::Packet server_flight(Bytes session = {}) {
+    return tls::make_server_flight(client_, server_, rng_, {leaf_}, false,
+                                   std::move(session));
+  }
+
+  Rng rng_{88};
+  ca::CertificationAuthority ca_;
+  DictionaryStore store_;
+  RevocationAgent agent_;
+  sim::Endpoint client_{sim::Endpoint::parse_ip("12.34.56.78"), 9012};
+  sim::Endpoint server_{sim::Endpoint::parse_ip("98.76.54.32"), 443};
+  cert::Certificate leaf_;
+};
+
+TEST_F(AgentTest, FullHandshakeAttachesStatus) {
+  auto ch = client_hello();
+  EXPECT_EQ(agent_.process(ch, 2000), RevocationAgent::Action::state_created);
+  EXPECT_EQ(agent_.flow_count(), 1u);
+
+  auto flight = server_flight();
+  EXPECT_EQ(agent_.process(flight, 2000),
+            RevocationAgent::Action::status_attached);
+  const auto stripped = strip_status(flight);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].proof.type, dict::Proof::Type::absence);
+
+  auto fin = tls::make_server_finished(client_, server_);
+  EXPECT_EQ(agent_.process(fin, 2000), RevocationAgent::Action::established);
+}
+
+TEST_F(AgentTest, NonRitmClientPassesThrough) {
+  auto ch = client_hello(/*ritm=*/false);
+  EXPECT_EQ(agent_.process(ch, 2000), RevocationAgent::Action::passed);
+  EXPECT_EQ(agent_.flow_count(), 0u);
+  auto flight = server_flight();
+  EXPECT_EQ(agent_.process(flight, 2000), RevocationAgent::Action::passed);
+  auto copy = flight;
+  EXPECT_TRUE(strip_status(copy).empty());
+}
+
+TEST_F(AgentTest, NonTlsPassesUntouched) {
+  auto pkt = tls::make_plain_packet(client_, server_, {1, 2, 3});
+  const Bytes before = pkt.payload;
+  EXPECT_EQ(agent_.process(pkt, 2000), RevocationAgent::Action::passed);
+  EXPECT_EQ(pkt.payload, before);
+  EXPECT_EQ(agent_.stats().non_tls, 1u);
+}
+
+TEST_F(AgentTest, PeriodicRefreshAfterDelta) {
+  auto ch = client_hello();
+  agent_.process(ch, 2000);
+  auto flight = server_flight();
+  agent_.process(flight, 2000);
+  auto fin = tls::make_server_finished(client_, server_);
+  agent_.process(fin, 2000);
+
+  // Before ∆ elapses: no refresh.
+  auto data1 = tls::make_app_data(server_, client_, {1});
+  EXPECT_EQ(agent_.process(data1, 2005), RevocationAgent::Action::passed);
+  EXPECT_TRUE(strip_status(data1).empty());
+
+  // After ∆: refresh rides the first server->client packet.
+  auto data2 = tls::make_app_data(server_, client_, {2});
+  EXPECT_EQ(agent_.process(data2, 2010),
+            RevocationAgent::Action::status_refreshed);
+  EXPECT_EQ(strip_status(data2).size(), 1u);
+  EXPECT_EQ(agent_.stats().statuses_refreshed, 1u);
+}
+
+TEST_F(AgentTest, ClientToServerDataDoesNotCarryStatus) {
+  auto ch = client_hello();
+  agent_.process(ch, 2000);
+  auto flight = server_flight();
+  agent_.process(flight, 2000);
+  auto fin = tls::make_server_finished(client_, server_);
+  agent_.process(fin, 2000);
+  auto upload = tls::make_app_data(client_, server_, {7});
+  EXPECT_EQ(agent_.process(upload, 2050), RevocationAgent::Action::passed);
+  EXPECT_TRUE(strip_status(upload).empty());
+}
+
+TEST_F(AgentTest, MultiRaDefersToFresherStatus) {
+  auto ch = client_hello();
+  agent_.process(ch, 2000);
+
+  // Upstream RA already attached a status with a larger n.
+  auto flight = server_flight();
+  auto fresher = *store_.status_for("CA-1", leaf_.serial);
+  fresher.signed_root.n = 100;  // pretend: newer view
+  attach_status(flight, fresher);
+  EXPECT_EQ(agent_.process(flight, 2000), RevocationAgent::Action::passed);
+  EXPECT_EQ(agent_.stats().statuses_deferred, 1u);
+  auto copy = flight;
+  EXPECT_EQ(strip_status(copy).size(), 1u);  // upstream status kept
+}
+
+TEST_F(AgentTest, MultiRaReplacesStalerStatus) {
+  // Advance our store so ours is fresher than the attached one.
+  store_.apply_issuance(ca_.revoke({SerialNumber::from_uint(777)}, 2100),
+                        2100);
+  auto ch = client_hello();
+  agent_.process(ch, 2100);
+
+  auto flight = server_flight();
+  dict::RevocationStatus stale;
+  stale.signed_root.ca = "CA-1";
+  stale.signed_root.n = 1;  // older view
+  attach_status(flight, stale);
+  EXPECT_EQ(agent_.process(flight, 2100),
+            RevocationAgent::Action::status_replaced);
+  auto stripped = strip_status(flight);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].signed_root.n, 2u);
+}
+
+TEST_F(AgentTest, SessionResumptionUsesCache) {
+  // Full handshake with a session id populates the cache.
+  Rng rng(99);
+  const Bytes session = rng.bytes(32);
+  auto ch = client_hello();
+  agent_.process(ch, 2000);
+  auto flight = server_flight(session);
+  agent_.process(flight, 2000);
+
+  // New connection from another client port, abbreviated handshake.
+  const sim::Endpoint client2{client_.ip, 9999};
+  auto ch2 = tls::make_client_hello(client2, server_, rng_, true, session);
+  agent_.process(ch2, 2050);
+  auto abbreviated = tls::make_server_flight(client2, server_, rng_, {},
+                                             false, session,
+                                             /*abbreviated=*/true);
+  EXPECT_EQ(agent_.process(abbreviated, 2050),
+            RevocationAgent::Action::status_attached);
+  EXPECT_EQ(agent_.stats().resumptions_served, 1u);
+  auto stripped = strip_status(abbreviated);
+  ASSERT_EQ(stripped.size(), 1u);
+}
+
+TEST_F(AgentTest, UnknownCaCounted) {
+  leaf_.issuer = "CA-UNREGISTERED";
+  auto ch = client_hello();
+  agent_.process(ch, 2000);
+  auto flight = server_flight();
+  EXPECT_EQ(agent_.process(flight, 2000), RevocationAgent::Action::passed);
+  EXPECT_EQ(agent_.stats().unknown_ca, 1u);
+}
+
+TEST_F(AgentTest, FlowExpiry) {
+  auto ch = client_hello();
+  agent_.process(ch, 2000);
+  EXPECT_EQ(agent_.flow_count(), 1u);
+  EXPECT_EQ(agent_.expire_flows(2100), 0u);  // within timeout (300 s)
+  EXPECT_EQ(agent_.expire_flows(2500), 1u);
+  EXPECT_EQ(agent_.flow_count(), 0u);
+}
+
+TEST_F(AgentTest, TerminatorModeConfirmsRitm) {
+  RevocationAgent::Config cfg;
+  cfg.terminator_mode = true;
+  RevocationAgent term(cfg, &store_);
+  auto ch = client_hello();
+  term.process(ch, 2000);
+  auto flight = server_flight();
+  term.process(flight, 2000);
+  strip_status(flight);
+  const auto in = inspect(ByteSpan(flight.payload));
+  ASSERT_TRUE(in.server_hello.has_value());
+  EXPECT_TRUE(in.server_hello->confirms_ritm());
+}
+
+// ------------------------------------------------------------- updater
+
+TEST(Updater, PullsAndAppliesFeed) {
+  Rng rng(30);
+  auto ca = make_ca(30);
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  ca::DistributionPoint dp(&cdn, 10);
+  dp.register_ca(ca.id(), ca.public_key());
+
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn);
+
+  dp.submit(ca::FeedMessage::of(ca.revoke({SerialNumber::from_uint(1)},
+                                          1000)));
+  dp.publish(0);
+  dp.submit(ca::FeedMessage::of(
+      dict::FreshnessStatement{ca.id(), ca.freshness_at(1010)}));
+  dp.publish(10'000);
+
+  const auto result = updater.pull_up_to(1, from_seconds(1010), rng);
+  EXPECT_EQ(result.messages, 2u);
+  EXPECT_GT(result.bytes, 0u);
+  EXPECT_GT(result.latency_ms, 0.0);
+  EXPECT_EQ(store.have_n("CA-1"), 1u);
+  EXPECT_EQ(updater.totals().applied_ok, 2u);
+  EXPECT_EQ(updater.next_period(), 2u);
+}
+
+TEST(Updater, GapTriggersSync) {
+  Rng rng(31);
+  auto ca = make_ca(31);
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  ca::DistributionPoint dp(&cdn, 10);
+  dp.register_ca(ca.id(), ca.public_key());
+
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  RaUpdater updater(
+      {sim::GeoPoint{47.4, 8.5}}, &store, &cdn,
+      [&](const dict::SyncRequest& req) -> std::optional<dict::SyncResponse> {
+        dict::SyncResponse resp;
+        resp.ca = req.ca;
+        resp.entries = ca.dictionary().entries_from(req.have_n + 1);
+        resp.signed_root = ca.signed_root();
+        resp.freshness = ca.freshness_at(1020);
+        return resp;
+      });
+
+  // Period 0 published while this RA was offline (never uploaded).
+  ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  // Period 1: the RA sees only the second issuance -> gap -> sync.
+  dp.submit(ca::FeedMessage::of(ca.revoke({SerialNumber::from_uint(2)},
+                                          1010)));
+  dp.publish(10'000);
+  updater.pull_up_to(0, from_seconds(1020), rng);
+
+  EXPECT_EQ(updater.totals().syncs, 1u);
+  EXPECT_EQ(store.have_n("CA-1"), 2u);
+  EXPECT_FALSE(store.needs_sync("CA-1"));
+}
+
+TEST(Updater, ConsistencyCheckFindsSplitView) {
+  Rng rng(32);
+  auto ca = make_ca(32);
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  ca::DistributionPoint dp(&cdn, 10);
+  dp.register_ca(ca.id(), ca.public_key());
+
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+
+  const auto hide = SerialNumber::from_uint(13);
+  const auto honest = ca.revoke({SerialNumber::from_uint(12), hide}, 1000);
+  store.apply_issuance(honest, 1000);
+
+  // The CDN serves a fabricated root (compromised CA + edge).
+  ca::MisbehavingCa evil(ca);
+  const auto fake = evil.view_without(hide, 1000);
+  cdn.origin().put(ca::DistributionPoint::root_path("CA-1"),
+                   fake.signed_root.encode(), 0);
+
+  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn);
+  const auto evidence = updater.consistency_check("CA-1", 1000, rng);
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_EQ(updater.totals().misbehaviour_detected, 1u);
+}
+
+}  // namespace
+}  // namespace ritm::ra

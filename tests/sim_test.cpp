@@ -1,0 +1,147 @@
+// Simulator substrate tests: event ordering, periodic events, cancellation,
+// geo latency model, and packet/flow-key plumbing.
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+#include "sim/geo.hpp"
+#include "sim/packet.hpp"
+
+namespace ritm::sim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameTimeFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ScheduleAfterUsesNow) {
+  EventLoop loop;
+  TimeMs fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventLoop, PastSchedulingThrows) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(50, [] {}), std::invalid_argument);
+}
+
+TEST(EventLoop, CancelOneShot) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.schedule_at(10, [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, PeriodicFiresUntilCancelled) {
+  EventLoop loop;
+  int count = 0;
+  EventId id = 0;
+  id = loop.schedule_every(0, 10, [&](TimeMs at) {
+    ++count;
+    if (at >= 50) loop.cancel(id);
+  });
+  loop.run();
+  EXPECT_EQ(count, 6);  // t = 0,10,20,30,40,50
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_every(0, 10, [&](TimeMs) { ++count; });
+  loop.run_until(35);
+  EXPECT_EQ(count, 4);  // 0,10,20,30
+  EXPECT_EQ(loop.now(), 35);
+  EXPECT_GT(loop.pending(), 0u);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 4);
+}
+
+TEST(Geo, GreatCircleKnownDistances) {
+  const GeoPoint zurich{47.38, 8.54};
+  const GeoPoint nyc{40.71, -74.01};
+  const double km = great_circle_km(zurich, nyc);
+  EXPECT_NEAR(km, 6320.0, 100.0);  // ~6.3k km
+  EXPECT_NEAR(great_circle_km(zurich, zurich), 0.0, 1e-9);
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  EXPECT_GE(propagation_delay_ms(0), 1.0);  // floor
+  EXPECT_GT(propagation_delay_ms(8000), propagation_delay_ms(1000));
+  // ~8000 km (transatlantic) should be tens of ms one way.
+  EXPECT_NEAR(propagation_delay_ms(8000), 68.0, 20.0);
+}
+
+TEST(Geo, RttJitterIsCentred) {
+  Rng rng(5);
+  const PathModel model;
+  const GeoPoint a{47.4, 8.5}, b{40.7, -74.0};
+  double sum = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) sum += model.rtt_ms(a, b, rng);
+  const double base = 2.0 + 2.0 * propagation_delay_ms(great_circle_km(a, b));
+  EXPECT_NEAR(sum / trials, base, base * 0.05);
+}
+
+TEST(Geo, FetchTimeIncludesTransfer) {
+  const PathModel model;  // 100 Mbit/s
+  const double small = model.fetch_ms(10.0, 100);
+  const double large = model.fetch_ms(10.0, 12'500'000);  // 1 s at 100 Mbit/s
+  EXPECT_NEAR(large - small, 1000.0, 1.0);
+}
+
+TEST(Endpoint, ToStringAndParse) {
+  Endpoint e{Endpoint::parse_ip("12.34.56.78"), 9012};
+  EXPECT_EQ(e.to_string(), "12.34.56.78:9012");
+  EXPECT_THROW(Endpoint::parse_ip("256.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse_ip("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse_ip("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(FlowKey, ReversedMatchesOppositeDirection) {
+  Packet forward;
+  forward.src = {Endpoint::parse_ip("10.0.0.1"), 1111};
+  forward.dst = {Endpoint::parse_ip("10.0.0.2"), 443};
+  Packet backward;
+  backward.src = forward.dst;
+  backward.dst = forward.src;
+  EXPECT_EQ(FlowKey::of(forward), FlowKey::of(backward).reversed());
+  FlowKeyHash h;
+  EXPECT_EQ(h(FlowKey::of(forward)), h(FlowKey::of(backward).reversed()));
+}
+
+}  // namespace
+}  // namespace ritm::sim

@@ -1,0 +1,187 @@
+// TLS substrate tests: record framing, handshake message codecs, the RITM
+// extension, resumption session ids, and the canonical packet builders.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tls/record.hpp"
+#include "tls/session.hpp"
+
+namespace ritm::tls {
+namespace {
+
+TEST(Record, EncodeDecodeRoundTrip) {
+  const Record rec{ContentType::handshake, {1, 2, 3, 4}};
+  const Bytes enc = encode_record(rec);
+  ASSERT_EQ(enc.size(), 5u + 4u);
+  const auto dec = decode_records(ByteSpan(enc));
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_EQ(dec->size(), 1u);
+  EXPECT_EQ((*dec)[0], rec);
+}
+
+TEST(Record, MultipleRecordsRoundTrip) {
+  const std::vector<Record> recs = {
+      {ContentType::handshake, {1}},
+      {ContentType::application_data, {2, 3}},
+      {ContentType::ritm_status, {4, 5, 6}},
+  };
+  const Bytes enc = encode_records(recs);
+  const auto dec = decode_records(ByteSpan(enc));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, recs);
+}
+
+TEST(Record, RejectsNonTls) {
+  const Bytes garbage = {0x47, 0x45, 0x54, 0x20, 0x2F};  // "GET /"
+  EXPECT_FALSE(looks_like_tls(ByteSpan(garbage)));
+  EXPECT_FALSE(decode_records(ByteSpan(garbage)).has_value());
+}
+
+TEST(Record, RejectsTruncatedRecord) {
+  const Record rec{ContentType::handshake, {1, 2, 3, 4}};
+  Bytes enc = encode_record(rec);
+  enc.pop_back();
+  EXPECT_FALSE(decode_records(ByteSpan(enc)).has_value());
+}
+
+TEST(Record, RejectsBadVersion) {
+  Bytes enc = encode_record({ContentType::handshake, {1}});
+  enc[1] = 0x02;  // wrong version major
+  EXPECT_FALSE(decode_records(ByteSpan(enc)).has_value());
+  EXPECT_FALSE(looks_like_tls(ByteSpan(enc)));
+}
+
+TEST(ClientHello, RoundTripWithRitmExtension) {
+  Rng rng(1);
+  ClientHello ch;
+  const Bytes rand = rng.bytes(32);
+  std::copy(rand.begin(), rand.end(), ch.random.begin());
+  ch.extensions.push_back(Extension{kRitmExtension, {}});
+  ch.extensions.push_back(Extension{kSessionTicketExtension, {0xAA}});
+  const auto dec = ClientHello::decode_body(ByteSpan(ch.encode_body()));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->random, ch.random);
+  EXPECT_TRUE(dec->offers_ritm());
+  EXPECT_TRUE(dec->has_extension(kSessionTicketExtension));
+  EXPECT_EQ(dec->cipher_suites, ch.cipher_suites);
+}
+
+TEST(ClientHello, WithoutExtensionDoesNotOfferRitm) {
+  ClientHello ch;
+  const auto dec = ClientHello::decode_body(ByteSpan(ch.encode_body()));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_FALSE(dec->offers_ritm());
+}
+
+TEST(ClientHello, SessionIdRoundTrip) {
+  Rng rng(2);
+  ClientHello ch;
+  ch.session_id = rng.bytes(32);
+  const auto dec = ClientHello::decode_body(ByteSpan(ch.encode_body()));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->session_id, ch.session_id);
+}
+
+TEST(ClientHello, RejectsBadSessionIdLength) {
+  ClientHello ch;
+  ch.session_id = Bytes(7, 0xAB);  // invalid: must be 0 or 32
+  const Bytes body = ch.encode_body();
+  EXPECT_FALSE(ClientHello::decode_body(ByteSpan(body)).has_value());
+}
+
+TEST(ServerHello, RoundTripWithConfirmation) {
+  Rng rng(3);
+  ServerHello sh;
+  const Bytes rand = rng.bytes(32);
+  std::copy(rand.begin(), rand.end(), sh.random.begin());
+  sh.session_id = rng.bytes(32);
+  sh.extensions.push_back(Extension{kRitmExtension, {}});
+  const auto dec = ServerHello::decode_body(ByteSpan(sh.encode_body()));
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_TRUE(dec->confirms_ritm());
+  EXPECT_EQ(dec->session_id, sh.session_id);
+}
+
+TEST(Handshake, FramingRoundTrip) {
+  const Bytes body = {9, 9, 9};
+  const Bytes framed = encode_handshake(HandshakeType::certificate,
+                                        ByteSpan(body));
+  const auto msgs = decode_handshakes(ByteSpan(framed));
+  ASSERT_TRUE(msgs.has_value());
+  ASSERT_EQ(msgs->size(), 1u);
+  EXPECT_EQ((*msgs)[0].type, HandshakeType::certificate);
+  EXPECT_EQ((*msgs)[0].body, body);
+}
+
+TEST(Handshake, MultipleMessagesInOneRecord) {
+  Bytes data = encode_handshake(HandshakeType::server_hello, ByteSpan(Bytes{1}));
+  append(data, ByteSpan(encode_handshake(HandshakeType::certificate,
+                                         ByteSpan(Bytes{2}))));
+  append(data, ByteSpan(encode_handshake(HandshakeType::server_hello_done,
+                                         ByteSpan{})));
+  const auto msgs = decode_handshakes(ByteSpan(data));
+  ASSERT_TRUE(msgs.has_value());
+  ASSERT_EQ(msgs->size(), 3u);
+  EXPECT_EQ((*msgs)[2].type, HandshakeType::server_hello_done);
+}
+
+TEST(Session, ClientHelloPacketParses) {
+  Rng rng(4);
+  const sim::Endpoint client{sim::Endpoint::parse_ip("12.34.56.78"), 9012};
+  const sim::Endpoint server{sim::Endpoint::parse_ip("98.76.54.32"), 443};
+  const auto pkt = make_client_hello(client, server, rng, true);
+  EXPECT_EQ(pkt.src, client);
+  EXPECT_EQ(pkt.dst, server);
+  const auto records = decode_records(ByteSpan(pkt.payload));
+  ASSERT_TRUE(records.has_value());
+  const auto msgs = decode_handshakes(ByteSpan((*records)[0].payload));
+  ASSERT_TRUE(msgs.has_value());
+  const auto ch = ClientHello::decode_body(ByteSpan((*msgs)[0].body));
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_TRUE(ch->offers_ritm());
+}
+
+TEST(Session, ServerFlightCarriesChain) {
+  Rng rng(5);
+  const sim::Endpoint client{1, 1}, server{2, 443};
+  cert::Certificate leaf;
+  leaf.serial = cert::SerialNumber::from_uint(0x73E10A5, 4);
+  leaf.issuer = "CA-1";
+  leaf.subject = "example.com";
+  const auto pkt =
+      make_server_flight(client, server, rng, {leaf}, false);
+  EXPECT_EQ(pkt.src, server);
+  EXPECT_EQ(pkt.dst, client);
+  const auto records = decode_records(ByteSpan(pkt.payload));
+  ASSERT_TRUE(records.has_value());
+  const auto msgs = decode_handshakes(ByteSpan((*records)[0].payload));
+  ASSERT_TRUE(msgs.has_value());
+  ASSERT_EQ(msgs->size(), 3u);  // SH + Certificate + SHD
+  const auto cm = CertificateMsg::decode_body(ByteSpan((*msgs)[1].body));
+  ASSERT_TRUE(cm.has_value());
+  ASSERT_EQ(cm->chain.size(), 1u);
+  EXPECT_EQ(cm->chain[0].subject, "example.com");
+}
+
+TEST(Session, AbbreviatedFlightHasNoCertificate) {
+  Rng rng(6);
+  const sim::Endpoint client{1, 1}, server{2, 443};
+  const auto pkt = make_server_flight(client, server, rng, {}, false,
+                                      rng.bytes(32), /*abbreviated=*/true);
+  const auto records = decode_records(ByteSpan(pkt.payload));
+  ASSERT_TRUE(records.has_value());
+  const auto msgs = decode_handshakes(ByteSpan((*records)[0].payload));
+  ASSERT_TRUE(msgs.has_value());
+  EXPECT_EQ(msgs->size(), 1u);  // ServerHello only
+}
+
+TEST(Session, AppDataAndPlainPackets) {
+  const sim::Endpoint a{1, 1}, b{2, 2};
+  const auto app = make_app_data(a, b, {1, 2, 3});
+  EXPECT_TRUE(looks_like_tls(ByteSpan(app.payload)));
+  const auto plain = make_plain_packet(a, b, {1, 2, 3});
+  EXPECT_FALSE(looks_like_tls(ByteSpan(plain.payload)));
+}
+
+}  // namespace
+}  // namespace ritm::tls

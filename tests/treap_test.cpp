@@ -1,0 +1,232 @@
+// Merkle-treap tests: canonical shape, proof soundness (presence, absence,
+// cross-gap, tamper), replay/update semantics, and equivalence of the
+// acceptance rules with the sorted-tree Dictionary.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "dict/dictionary.hpp"
+#include "dict/treap.hpp"
+
+namespace ritm::dict {
+namespace {
+
+using cert::SerialNumber;
+
+SerialNumber sn(std::uint64_t v) { return SerialNumber::from_uint(v); }
+
+std::vector<SerialNumber> serial_range(std::uint64_t first,
+                                       std::uint64_t count) {
+  std::vector<SerialNumber> out;
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(sn(first + i));
+  return out;
+}
+
+TEST(Treap, EmptyTreap) {
+  MerkleTreap t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.root(), empty_root());
+  const auto proof = t.prove(sn(1));
+  EXPECT_FALSE(proof.present);
+  EXPECT_TRUE(MerkleTreap::verify(proof, sn(1), t.root()));
+}
+
+TEST(Treap, InsertAssignsConsecutiveNumbers) {
+  MerkleTreap t;
+  const auto added = t.insert({sn(30), sn(10), sn(20)});
+  ASSERT_EQ(added.size(), 3u);
+  EXPECT_EQ(added[0].number, 1u);
+  EXPECT_EQ(added[2].number, 3u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.contains(sn(10)));
+  EXPECT_FALSE(t.contains(sn(11)));
+}
+
+TEST(Treap, InsertIsIdempotent) {
+  MerkleTreap t;
+  t.insert({sn(1)});
+  const auto r = t.root();
+  EXPECT_TRUE(t.insert({sn(1)}).empty());
+  EXPECT_EQ(t.root(), r);
+}
+
+TEST(Treap, SameHistorySameRoot) {
+  MerkleTreap a, b;
+  a.insert({sn(5), sn(3), sn(9)});
+  b.insert({sn(5)});
+  b.insert({sn(3)});
+  b.insert({sn(9)});
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(Treap, ReorderedHistoryDiffersInRoot) {
+  // Same set, different numbering: the root must differ (reordering
+  // detection, §V).
+  MerkleTreap a, b;
+  a.insert({sn(1), sn(2)});
+  b.insert({sn(2), sn(1)});
+  EXPECT_NE(a.root(), b.root());
+}
+
+TEST(Treap, RootsNeverCollideWithSortedTree) {
+  MerkleTreap t;
+  Dictionary d;
+  t.insert({sn(1)});
+  d.insert({sn(1)});
+  EXPECT_NE(t.root(), d.root());  // domain-separated node encodings
+}
+
+class TreapProofTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreapProofTest, ProofsVerifyEverywhere) {
+  const std::uint64_t n = GetParam();
+  MerkleTreap t;
+  std::vector<SerialNumber> serials;
+  for (std::uint64_t i = 0; i < n; ++i) serials.push_back(sn(2 * i + 1));
+  t.insert(serials);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto present = t.prove(sn(2 * i + 1));
+    EXPECT_TRUE(present.present);
+    EXPECT_TRUE(MerkleTreap::verify(present, sn(2 * i + 1), t.root()));
+  }
+  for (std::uint64_t q = 0; q <= 2 * n; q += 2) {
+    const auto absent = t.prove(sn(q));
+    EXPECT_FALSE(absent.present);
+    EXPECT_TRUE(MerkleTreap::verify(absent, sn(q), t.root()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreapSizes, TreapProofTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 100, 257));
+
+TEST(TreapProof, WrongSerialRejected) {
+  MerkleTreap t;
+  t.insert(serial_range(1, 50));
+  const auto proof = t.prove(sn(25));
+  EXPECT_FALSE(MerkleTreap::verify(proof, sn(26), t.root()));
+}
+
+TEST(TreapProof, AbsenceProofCannotHideRevokedSerial) {
+  MerkleTreap t;
+  t.insert({sn(10), sn(20), sn(30)});
+  const auto absent = t.prove(sn(15));
+  EXPECT_TRUE(MerkleTreap::verify(absent, sn(15), t.root()));
+  EXPECT_FALSE(MerkleTreap::verify(absent, sn(20), t.root()));
+  EXPECT_FALSE(MerkleTreap::verify(absent, sn(10), t.root()));
+}
+
+TEST(TreapProof, TamperedPathRejected) {
+  MerkleTreap t;
+  t.insert(serial_range(1, 64));
+  auto proof = t.prove(sn(32));
+  ASSERT_TRUE(proof.present);
+  proof.terminal_left[0] ^= 1;
+  EXPECT_FALSE(MerkleTreap::verify(proof, sn(32), t.root()));
+
+  auto absent = t.prove(sn(1000));
+  ASSERT_FALSE(absent.present);
+  ASSERT_FALSE(absent.path.empty());
+  absent.path[0].other_child[0] ^= 1;
+  EXPECT_FALSE(MerkleTreap::verify(absent, sn(1000), t.root()));
+}
+
+TEST(TreapProof, TruncatedAbsencePathRejected) {
+  // A prover that cuts the search path short (pretending a subtree is a
+  // null child) cannot fabricate an absence for a present serial.
+  MerkleTreap t;
+  t.insert(serial_range(1, 64));
+  auto proof = t.prove(sn(1000));  // genuine absence
+  ASSERT_GT(proof.path.size(), 1u);
+  proof.path.pop_back();
+  EXPECT_FALSE(MerkleTreap::verify(proof, sn(1000), t.root()));
+}
+
+TEST(TreapProof, EncodeDecodeRoundTrip) {
+  MerkleTreap t;
+  t.insert(serial_range(1, 100));
+  for (std::uint64_t q : {50ull, 1000ull}) {
+    const auto proof = t.prove(sn(q));
+    const auto dec = TreapProof::decode(ByteSpan(proof.encode()));
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(*dec, proof);
+    EXPECT_TRUE(MerkleTreap::verify(*dec, sn(q), t.root()));
+  }
+}
+
+TEST(TreapProof, DecodeRejectsCorruptInput) {
+  MerkleTreap t;
+  t.insert(serial_range(1, 10));
+  Bytes enc = t.prove(sn(5)).encode();
+  EXPECT_FALSE(TreapProof::decode(ByteSpan(enc.data(), enc.size() - 1)));
+  enc.push_back(0);
+  EXPECT_FALSE(TreapProof::decode(ByteSpan(enc)));
+}
+
+TEST(TreapUpdate, ReplayMatchesCaRoot) {
+  Rng rng(7);
+  MerkleTreap ca_side, ra_side;
+  std::uint64_t next = 1;
+  for (int round = 0; round < 15; ++round) {
+    const auto batch = serial_range(next, 1 + rng.uniform(30));
+    next += batch.size();
+    ca_side.insert(batch);
+    EXPECT_TRUE(ra_side.update(batch, ca_side.root(), ca_side.size()));
+  }
+  EXPECT_EQ(ra_side.root(), ca_side.root());
+}
+
+TEST(TreapUpdate, RejectsAndRollsBack) {
+  MerkleTreap ca_side, ra_side;
+  ca_side.insert(serial_range(1, 10));
+  ra_side.update(serial_range(1, 10), ca_side.root(), 10);
+  const auto before = ra_side.root();
+
+  crypto::Digest20 bogus = ca_side.root();
+  bogus[0] ^= 1;
+  EXPECT_FALSE(ra_side.update(serial_range(11, 5), bogus, 15));
+  EXPECT_EQ(ra_side.size(), 10u);
+  EXPECT_EQ(ra_side.root(), before);
+}
+
+TEST(TreapUpdate, DetectsReordering) {
+  MerkleTreap ca_side, ra_side;
+  ca_side.insert({sn(1), sn(2)});
+  EXPECT_FALSE(ra_side.update({sn(2), sn(1)}, ca_side.root(), 2));
+  EXPECT_EQ(ra_side.size(), 0u);
+}
+
+TEST(TreapPerf, InsertRehashesLogarithmically) {
+  MerkleTreap t;
+  t.insert(serial_range(1, 4096));
+  // One more insert should touch ~log2(4096) = 12-ish nodes (rotations can
+  // add a constant factor), nowhere near the 4096 a full rebuild costs.
+  t.insert({sn(100000)});
+  EXPECT_LT(t.last_rehash_count(), 80u);
+  EXPECT_GE(t.last_rehash_count(), 5u);
+}
+
+TEST(TreapProperty, RandomizedAgainstReference) {
+  Rng rng(99);
+  MerkleTreap t;
+  std::set<std::uint64_t> reference;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<SerialNumber> batch;
+    for (int i = 0; i < 60; ++i) {
+      const std::uint64_t v = rng.uniform(5000);
+      batch.push_back(sn(v));
+      reference.insert(v);
+    }
+    t.insert(batch);
+    EXPECT_EQ(t.size(), reference.size());
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t v = rng.uniform(5000);
+      const auto proof = t.prove(sn(v));
+      EXPECT_EQ(proof.present, reference.count(v) == 1);
+      EXPECT_TRUE(MerkleTreap::verify(proof, sn(v), t.root()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ritm::dict
