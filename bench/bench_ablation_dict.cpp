@@ -3,6 +3,9 @@
 //  1. Proof size and prove/verify latency vs dictionary size (log growth).
 //  2. Batch insert vs one-at-a-time insert (the rebuild amortization).
 //  3. Freshness chain length m: CA re-sign cost vs statement cost.
+//
+// Numbers (ops/sec, ns/op, rehash counts) are also written to BENCH_dict.json
+// so successive PRs have a machine-readable perf trajectory.
 #include <chrono>
 #include <cstdio>
 
@@ -26,6 +29,13 @@ double us_per_op(std::chrono::steady_clock::duration d, std::size_t ops) {
 
 int main() {
   Rng rng(3);
+
+  // Collected for BENCH_dict.json.
+  double prove_us_100k = 0, verify_us_100k = 0, proof_bytes_100k = 0;
+  double batch_ms_final = 0, inc_ms_final = 0;
+  double tree_ms_final = 0, treap_ms_final = 0;
+  std::uint64_t tree_rehashes = 0, treap_rehashes = 0;
+  std::size_t tree_proof_bytes = 0, treap_proof_bytes = 0;
 
   std::printf("== ablation 1: proof size / latency vs dictionary size ==\n\n");
   Table t1({"n", "proof bytes", "prove (us)", "verify (us)", "depth"});
@@ -66,6 +76,11 @@ int main() {
 
     const auto depth = proof.left ? proof.left->path.size()
                                   : (proof.leaf ? proof.leaf->path.size() : 0);
+    if (n == 100'000) {
+      prove_us_100k = prove_us;
+      verify_us_100k = verify_us;
+      proof_bytes_100k = size.mean();
+    }
     t1.add_row({Table::num(n), Table::num(size.mean(), 0),
                 Table::num(prove_us, 1), Table::num(verify_us, 1),
                 Table::num(std::uint64_t(depth))});
@@ -104,6 +119,8 @@ int main() {
       std::printf("ROOT MISMATCH\n");
       return 1;
     }
+    batch_ms_final = batch_ms;
+    inc_ms_final = inc_ms;
     std::printf("%s\n", t2.render().c_str());
   }
 
@@ -133,6 +150,7 @@ int main() {
       return b;
     };
 
+    const std::uint64_t tree_hashes_before = tree.total_hash_count();
     auto start = std::chrono::steady_clock::now();
     for (std::uint64_t k = 0; k < 120; ++k) {
       tree.insert(batch_at(k));
@@ -140,26 +158,35 @@ int main() {
     }
     const double tree_ms =
         us_per_op(std::chrono::steady_clock::now() - start, 1) / 1000.0;
+    tree_rehashes = tree.total_hash_count() - tree_hashes_before;
 
     start = std::chrono::steady_clock::now();
     for (std::uint64_t k = 0; k < 120; ++k) {
       treap.insert(batch_at(k));
+      treap_rehashes += treap.last_rehash_count();
       (void)treap.root();
     }
     const double treap_ms =
         us_per_op(std::chrono::steady_clock::now() - start, 1) / 1000.0;
 
-    // Proof sizes for the same absent serial.
+    // Proof sizes for the same absent serial (sized without serializing).
     const auto probe = cert::SerialNumber::from_uint(123'456'789, 4);
-    const auto tree_proof = tree.prove(probe).encode().size();
-    const auto treap_proof = treap.prove(probe).encode().size();
+    const auto tree_proof = tree.prove(probe).wire_size();
+    const auto treap_proof = treap.prove(probe).wire_size();
 
-    Table t2b({"backend", "120 issuances (ms)", "absence proof (B)"});
+    Table t2b({"backend", "120 issuances (ms)", "rehashes",
+               "absence proof (B)"});
     t2b.add_row({"sorted Merkle tree (paper)", Table::num(tree_ms, 1),
+                 Table::num(tree_rehashes),
                  Table::num(std::uint64_t(tree_proof))});
     t2b.add_row({"Merkle treap", Table::num(treap_ms, 1),
+                 Table::num(treap_rehashes),
                  Table::num(std::uint64_t(treap_proof))});
     std::printf("%s\n", t2b.render().c_str());
+    tree_ms_final = tree_ms;
+    treap_ms_final = treap_ms;
+    tree_proof_bytes = tree_proof;
+    treap_proof_bytes = treap_proof;
   }
 
   std::printf("== ablation 3: freshness chain length m ==\n\n");
@@ -178,6 +205,32 @@ int main() {
                   Table::num(8640.0 / double(m), 2)});
     }
     std::printf("%s", t3.render().c_str());
+  }
+
+  if (std::FILE* f = std::fopen("BENCH_dict.json", "w")) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"proofs_100k\": {\"prove_ns\": %.0f, \"verify_ns\": %.0f, "
+        "\"proof_bytes\": %.0f, \"prove_ops_per_sec\": %.0f, "
+        "\"verify_ops_per_sec\": %.0f},\n"
+        "  \"insert_10k\": {\"one_batch_ms\": %.2f, "
+        "\"hundred_issuances_ms\": %.2f},\n"
+        "  \"issuance_stream_50k\": {\n"
+        "    \"tree\": {\"ms\": %.2f, \"rehashes\": %llu, "
+        "\"absence_proof_bytes\": %zu},\n"
+        "    \"treap\": {\"ms\": %.2f, \"rehashes\": %llu, "
+        "\"absence_proof_bytes\": %zu}\n"
+        "  }\n"
+        "}\n",
+        prove_us_100k * 1000.0, verify_us_100k * 1000.0, proof_bytes_100k,
+        prove_us_100k > 0 ? 1e6 / prove_us_100k : 0,
+        verify_us_100k > 0 ? 1e6 / verify_us_100k : 0, batch_ms_final,
+        inc_ms_final, tree_ms_final, (unsigned long long)tree_rehashes,
+        tree_proof_bytes, treap_ms_final, (unsigned long long)treap_rehashes,
+        treap_proof_bytes);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_dict.json\n");
   }
   return 0;
 }

@@ -6,12 +6,16 @@
 //
 // We drive the real agent with wire packets and the real client with RA
 // output, using the largest-CRL dictionary.
+//
+// Results are also written to BENCH_throughput.json (ops/sec, ns/op, rehash
+// counts) so successive PRs have a machine-readable perf trajectory.
 #include <chrono>
 #include <cstdio>
 
 #include "ca/authority.hpp"
 #include "client/client.hpp"
 #include "common/table.hpp"
+#include "dict/dictionary.hpp"
 #include "ra/agent.hpp"
 #include "tls/session.hpp"
 
@@ -22,6 +26,51 @@ double rate_per_sec(std::size_t ops, std::chrono::steady_clock::duration d) {
   const double secs =
       std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
   return double(ops) / secs;
+}
+
+/// Dictionary Δ-batch maintenance (the per-CA hot path): appends `batches`
+/// batches of `batch_size` fresh serials past the current maximum and
+/// recomputes the root after each, the per-issuance pattern of §III. When
+/// `force_full` is set the incremental state is dropped before every root,
+/// reproducing the seed's O(n)-hashing-per-batch cost model.
+struct DictUpdateResult {
+  double entries_per_sec = 0;
+  double ns_per_entry = 0;
+  std::uint64_t hashes = 0;
+};
+
+DictUpdateResult bench_dict_updates(
+    const std::vector<std::vector<cert::SerialNumber>>& batches,
+    std::uint64_t base_n, bool force_full) {
+  dict::Dictionary d;
+  std::vector<cert::SerialNumber> base;
+  base.reserve(base_n);
+  for (std::uint64_t i = 0; i < base_n; ++i) {
+    base.push_back(cert::SerialNumber::from_uint(i * 7 + 1, 4));
+  }
+  d.insert(base);
+  (void)d.root();
+
+  const std::uint64_t hashes_before = d.total_hash_count();
+  std::size_t entries = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& batch : batches) {
+    d.insert(batch);
+    if (force_full) d.invalidate_tree();
+    (void)d.root();
+    entries += batch.size();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  DictUpdateResult r;
+  r.entries_per_sec = rate_per_sec(entries, elapsed);
+  r.ns_per_entry =
+      std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+          elapsed)
+          .count() /
+      double(entries);
+  r.hashes = d.total_hash_count() - hashes_before;
+  return r;
 }
 }  // namespace
 
@@ -66,6 +115,7 @@ int main() {
   const sim::Endpoint se{sim::Endpoint::parse_ip("10.0.0.2"), 443};
 
   Table t({"operation", "rate (ops/s)", "paper (Python)"});
+  double non_tls_rate = 0, handshake_rate = 0, validation_rate = 0;
 
   // --- non-TLS packets through the agent.
   {
@@ -75,8 +125,9 @@ int main() {
     for (std::size_t i = 0; i < kOps; ++i) {
       agent.process(pkt, 1000);
     }
-    const auto rate = rate_per_sec(kOps, std::chrono::steady_clock::now() - start);
-    t.add_row({"RA: non-TLS packets", Table::num(rate, 0), ">340,000/s"});
+    non_tls_rate = rate_per_sec(kOps, std::chrono::steady_clock::now() - start);
+    t.add_row({"RA: non-TLS packets", Table::num(non_tls_rate, 0),
+               ">340,000/s"});
   }
 
   // --- full RITM handshakes (ClientHello + flight + status injection).
@@ -97,8 +148,10 @@ int main() {
       agent.process(hellos[i], 1000);
       agent.process(flights[i], 1000);
     }
-    const auto rate = rate_per_sec(kOps, std::chrono::steady_clock::now() - start);
-    t.add_row({"RA: RITM handshakes", Table::num(rate, 0), ">50,000/s"});
+    handshake_rate =
+        rate_per_sec(kOps, std::chrono::steady_clock::now() - start);
+    t.add_row({"RA: RITM handshakes", Table::num(handshake_rate, 0),
+               ">50,000/s"});
   }
 
   // --- client status validations (signature + freshness + proof).
@@ -116,8 +169,9 @@ int main() {
       accepted += client.validate_status(status, leaf, 1000) ==
                   client::Verdict::accepted;
     }
-    const auto rate = rate_per_sec(kOps, std::chrono::steady_clock::now() - start);
-    t.add_row({"client: status validations", Table::num(rate, 0),
+    validation_rate =
+        rate_per_sec(kOps, std::chrono::steady_clock::now() - start);
+    t.add_row({"client: status validations", Table::num(validation_rate, 0),
                "~4,000/s"});
     if (accepted != kOps) {
       std::printf("unexpected rejections! %zu/%zu\n", accepted, kOps);
@@ -129,5 +183,62 @@ int main() {
   std::printf("\nRA flows tracked: %zu; statuses attached: %llu\n",
               agent.flow_count(),
               (unsigned long long)agent.stats().statuses_attached);
+
+  // --- dictionary Δ-batch update throughput (100k-entry dictionary).
+  constexpr std::uint64_t kDictBase = 100'000;
+  constexpr std::size_t kDictBatches = 200;
+  constexpr std::size_t kDictBatchSize = 64;
+  std::vector<std::vector<cert::SerialNumber>> delta_batches;
+  delta_batches.reserve(kDictBatches);
+  for (std::size_t b = 0; b < kDictBatches; ++b) {
+    std::vector<cert::SerialNumber> batch;
+    batch.reserve(kDictBatchSize);
+    for (std::size_t i = 0; i < kDictBatchSize; ++i) {
+      // Fresh serials past the base range: the append-heavy issuance stream.
+      batch.push_back(cert::SerialNumber::from_uint(
+          kDictBase * 7 + 100 + b * kDictBatchSize + i, 4));
+    }
+    delta_batches.push_back(std::move(batch));
+  }
+  const auto inc = bench_dict_updates(delta_batches, kDictBase, false);
+  const auto full = bench_dict_updates(delta_batches, kDictBase, true);
+  const double speedup = full.ns_per_entry / inc.ns_per_entry;
+
+  Table td({"dictionary maintenance", "entries/s", "ns/entry", "SHA-256 ops"});
+  td.add_row({"incremental (dirty-range)", Table::num(inc.entries_per_sec, 0),
+              Table::num(inc.ns_per_entry, 0), Table::num(inc.hashes)});
+  td.add_row({"full rebuild (seed)", Table::num(full.entries_per_sec, 0),
+              Table::num(full.ns_per_entry, 0), Table::num(full.hashes)});
+  std::printf("\n== dictionary Δ-batch updates (n=%llu, %zu x %zu) ==\n%s",
+              (unsigned long long)kDictBase, kDictBatches, kDictBatchSize,
+              td.render().c_str());
+  std::printf("\nincremental speedup: %.1fx\n", speedup);
+
+  // Machine-readable trajectory for future PRs.
+  if (std::FILE* f = std::fopen("BENCH_throughput.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"ra_non_tls_packets_per_sec\": %.0f,\n"
+                 "  \"ra_handshakes_per_sec\": %.0f,\n"
+                 "  \"client_validations_per_sec\": %.0f,\n"
+                 "  \"dict_update\": {\n"
+                 "    \"base_entries\": %llu,\n"
+                 "    \"batches\": %zu,\n"
+                 "    \"batch_size\": %zu,\n"
+                 "    \"incremental\": {\"entries_per_sec\": %.0f, "
+                 "\"ns_per_entry\": %.1f, \"sha256_ops\": %llu},\n"
+                 "    \"full_rebuild\": {\"entries_per_sec\": %.0f, "
+                 "\"ns_per_entry\": %.1f, \"sha256_ops\": %llu},\n"
+                 "    \"speedup\": %.2f\n"
+                 "  }\n"
+                 "}\n",
+                 non_tls_rate, handshake_rate, validation_rate,
+                 (unsigned long long)kDictBase, kDictBatches, kDictBatchSize,
+                 inc.entries_per_sec, inc.ns_per_entry,
+                 (unsigned long long)inc.hashes, full.entries_per_sec,
+                 full.ns_per_entry, (unsigned long long)full.hashes, speedup);
+    std::fclose(f);
+    std::printf("wrote BENCH_throughput.json\n");
+  }
   return 0;
 }

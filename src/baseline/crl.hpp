@@ -36,7 +36,13 @@ struct Crl {
     return now >= this_update && now <= next_update;
   }
 
-  std::size_t wire_size() const { return encode().size(); }
+  /// Exact encoded size, computed — the old encode-then-measure pattern was
+  /// O(n) serialization just to size a 7.5 MB CRL.
+  std::size_t wire_size() const noexcept {
+    std::size_t total = 6 + 1 + issuer.size() + 8 + 8 + 4 + 64;
+    for (const auto& s : revoked) total += 1 + s.value.size();
+    return total;
+  }
 };
 
 /// Delta CRL: only entries added since a base CRL's this_update.

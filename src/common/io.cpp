@@ -4,34 +4,34 @@
 
 namespace ritm {
 
-void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+void ByteWriter::u8(std::uint8_t v) { out_->push_back(v); }
 
 void ByteWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  out_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void ByteWriter::u24(std::uint32_t v) {
   if (v >= (1u << 24)) throw std::length_error("ByteWriter::u24 overflow");
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  out_->push_back(static_cast<std::uint8_t>(v >> 16));
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  out_->push_back(static_cast<std::uint8_t>(v));
 }
 
 void ByteWriter::u32(std::uint32_t v) {
   for (int s = 24; s >= 0; s -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> s));
+    out_->push_back(static_cast<std::uint8_t>(v >> s));
   }
 }
 
 void ByteWriter::u64(std::uint64_t v) {
   for (int s = 56; s >= 0; s -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> s));
+    out_->push_back(static_cast<std::uint8_t>(v >> s));
   }
 }
 
 void ByteWriter::raw(ByteSpan data) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  out_->insert(out_->end(), data.begin(), data.end());
 }
 
 void ByteWriter::var8(ByteSpan data) {

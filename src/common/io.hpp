@@ -15,9 +15,19 @@
 namespace ritm {
 
 /// Serializes integers big-endian and length-prefixed byte strings.
+///
+/// By default the writer owns its buffer (take() moves it out). The
+/// external-sink constructor appends to a caller-provided buffer instead —
+/// the allocation-free `encode_into` path used for proof/status assembly on
+/// the RA hot path. A writer is pinned to one buffer: no copies or moves.
 class ByteWriter {
  public:
-  ByteWriter() = default;
+  ByteWriter() : out_(&own_) {}
+  /// Appends to `sink` (which the caller keeps). `sink` must outlive the
+  /// writer; take() must not be called in this mode.
+  explicit ByteWriter(Bytes& sink) : out_(&sink) {}
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -33,12 +43,13 @@ class ByteWriter {
   /// Byte string with u8 length prefix. Throws if data > 255 bytes.
   void var8(ByteSpan data);
 
-  const Bytes& bytes() const noexcept { return buf_; }
-  Bytes take() { return std::move(buf_); }
-  std::size_t size() const noexcept { return buf_.size(); }
+  const Bytes& bytes() const noexcept { return *out_; }
+  Bytes take() { return std::move(own_); }
+  std::size_t size() const noexcept { return out_->size(); }
 
  private:
-  Bytes buf_;
+  Bytes own_;
+  Bytes* out_;
 };
 
 /// Cursor over an immutable byte span. The `try_*` accessors return

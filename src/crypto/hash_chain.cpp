@@ -8,8 +8,9 @@ HashChain::HashChain(const Digest20& v, std::size_t m) {
   if (m == 0) throw std::invalid_argument("HashChain: m must be >= 1");
   links_.reserve(m + 1);
   links_.push_back(v);
+  // rehash20 is the single-block fast path: each link is one compression.
   for (std::size_t i = 0; i < m; ++i) {
-    links_.push_back(hash20(ByteSpan(links_.back().data(), links_.back().size())));
+    links_.push_back(rehash20(links_.back()));
   }
 }
 
@@ -21,9 +22,7 @@ const Digest20& HashChain::statement(std::size_t p) const {
 }
 
 Digest20 HashChain::advance(Digest20 value, std::size_t steps) noexcept {
-  for (std::size_t i = 0; i < steps; ++i) {
-    value = hash20(ByteSpan(value.data(), value.size()));
-  }
+  for (std::size_t i = 0; i < steps; ++i) value = rehash20(value);
   return value;
 }
 

@@ -27,13 +27,7 @@ inline std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return (x >> n) | (x << (32 - n));
 }
 
-}  // namespace
-
-Sha256::Sha256() noexcept {
-  std::memcpy(state_, kInit, sizeof(state_));
-}
-
-void Sha256::compress(const std::uint8_t* block) noexcept {
+void sha256_compress(std::uint32_t state[8], const std::uint8_t* block) noexcept {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = std::uint32_t(block[4 * i]) << 24 |
@@ -48,8 +42,8 @@ void Sha256::compress(const std::uint8_t* block) noexcept {
         rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
@@ -66,14 +60,61 @@ void Sha256::compress(const std::uint8_t* block) noexcept {
     b = a;
     a = t1 + t2;
   }
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+inline void store_state(const std::uint32_t state[8], std::uint8_t* out,
+                        std::size_t words) noexcept {
+  for (std::size_t i = 0; i < words; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+}
+
+/// One-shot compression of a pre-length-checked short message. Pads into a
+/// stack buffer and runs 1 (len <= 55) or 2 (len <= 119) compressions; the
+/// truncated variants read only the first 5 state words.
+inline void sha256_short_state(const std::uint8_t* data, std::size_t len,
+                               std::uint32_t state[8]) noexcept {
+  std::uint8_t block[128];
+  const std::size_t total = len < 56 ? 64 : 128;
+  if (len != 0) std::memcpy(block, data, len);  // data may be null when empty
+  block[len] = 0x80;
+  std::memset(block + len + 1, 0, total - len - 1 - 8);
+  const std::uint64_t bits = std::uint64_t(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[total - 8 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+  }
+  std::memcpy(state, kInit, sizeof(kInit));
+  sha256_compress(state, block);
+  if (total == 128) sha256_compress(state, block + 64);
+}
+
+inline Digest20 hash20_short(const std::uint8_t* data, std::size_t len) noexcept {
+  std::uint32_t state[8];
+  sha256_short_state(data, len, state);
+  Digest20 out;
+  store_state(state, out.data(), 5);
+  return out;
+}
+
+}  // namespace
+
+Sha256::Sha256() noexcept {
+  std::memcpy(state_, kInit, sizeof(state_));
+}
+
+void Sha256::compress(const std::uint8_t* block) noexcept {
+  sha256_compress(state_, block);
 }
 
 void Sha256::update(ByteSpan data) noexcept {
@@ -112,22 +153,29 @@ Sha256Digest Sha256::finish() noexcept {
   }
   update(ByteSpan(len_bytes, 8));
   Sha256Digest out;
-  for (int i = 0; i < 8; ++i) {
-    out[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  store_state(state_, out.data(), 8);
   return out;
 }
 
 Sha256Digest Sha256::hash(ByteSpan data) noexcept {
+  if (data.size() <= kSha256ShortMax) return sha256_short(data);
   Sha256 h;
   h.update(data);
   return h.finish();
 }
 
+Sha256Digest sha256_short(ByteSpan data) noexcept {
+  std::uint32_t state[8];
+  sha256_short_state(data.data(), data.size(), state);
+  Sha256Digest out;
+  store_state(state, out.data(), 8);
+  return out;
+}
+
 Digest20 hash20(ByteSpan data) noexcept {
+  if (data.size() <= kSha256ShortMax) {
+    return hash20_short(data.data(), data.size());
+  }
   const Sha256Digest full = Sha256::hash(data);
   Digest20 out;
   std::memcpy(out.data(), full.data(), out.size());
@@ -135,13 +183,22 @@ Digest20 hash20(ByteSpan data) noexcept {
 }
 
 Digest20 hash20_pair(const Digest20& left, const Digest20& right) noexcept {
-  Sha256 h;
-  h.update(ByteSpan(left.data(), left.size()));
-  h.update(ByteSpan(right.data(), right.size()));
-  const Sha256Digest full = h.finish();
-  Digest20 out;
-  std::memcpy(out.data(), full.data(), out.size());
-  return out;
+  std::uint8_t buf[40];
+  std::memcpy(buf, left.data(), 20);
+  std::memcpy(buf + 20, right.data(), 20);
+  return hash20_short(buf, sizeof(buf));
+}
+
+Digest20 rehash20(const Digest20& d) noexcept {
+  return hash20_short(d.data(), d.size());
+}
+
+void hash20_batch(std::span<const ByteSpan> inputs, Digest20* out) noexcept {
+  // Scalar backend: one-shot per lane. A SIMD multi-buffer implementation
+  // replaces this loop wholesale; the signature is the contract.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[i] = hash20(inputs[i]);
+  }
 }
 
 }  // namespace ritm::crypto

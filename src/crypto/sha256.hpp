@@ -1,10 +1,19 @@
 // SHA-256 (FIPS 180-4), plus the 20-byte truncated digest that RITM uses as
 // its tree/leaf hash (the paper §VI: "We used the SHA-256 hash function, but
 // we truncated its output to the first 20 bytes").
+//
+// Every hash on the dictionary hot path (leaf hashes, Merkle inner nodes,
+// treap nodes, hash-chain links) is a short fixed-shape message, so hash20()
+// dispatches to a one-shot compression path for inputs that fit in one or
+// two blocks, skipping the incremental buffer/length machinery entirely.
+// hash20_batch() is the rebuild loop's entry point: a scalar loop today, and
+// the seam where a SIMD multi-buffer backend can slot in without touching
+// the dictionary code.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "common/bytes.hpp"
 
@@ -12,7 +21,7 @@ namespace ritm::crypto {
 
 using Sha256Digest = std::array<std::uint8_t, 32>;
 
-/// Incremental SHA-256.
+/// Incremental SHA-256 (arbitrary-length input, streaming).
 class Sha256 {
  public:
   Sha256() noexcept;
@@ -20,7 +29,8 @@ class Sha256 {
   /// Finalizes and returns the digest. The object must not be reused after.
   Sha256Digest finish() noexcept;
 
-  /// One-shot convenience.
+  /// One-shot convenience. Short inputs (<= 119 bytes) take the
+  /// single/double-block fast path.
   static Sha256Digest hash(ByteSpan data) noexcept;
 
  private:
@@ -32,6 +42,14 @@ class Sha256 {
   std::size_t buf_len_ = 0;
 };
 
+/// Largest message that fits the one-shot two-block fast path: two 64-byte
+/// blocks minus padding byte and the 8-byte length field.
+constexpr std::size_t kSha256ShortMax = 119;
+
+/// One-shot SHA-256 of a short message (data.size() <= kSha256ShortMax):
+/// pads on the stack and runs one or two compressions, no buffering.
+Sha256Digest sha256_short(ByteSpan data) noexcept;
+
 /// RITM's 20-byte hash: SHA-256 truncated to its first 20 bytes.
 using Digest20 = std::array<std::uint8_t, 20>;
 
@@ -39,5 +57,16 @@ Digest20 hash20(ByteSpan data) noexcept;
 
 /// Hash of the concatenation of two 20-byte digests (Merkle inner node).
 Digest20 hash20_pair(const Digest20& left, const Digest20& right) noexcept;
+
+/// One hash-chain link: H(d) for a 20-byte digest. Single-block fast path,
+/// used by crypto::HashChain to build and walk chains.
+Digest20 rehash20(const Digest20& d) noexcept;
+
+/// Hashes `inputs.size()` independent messages into `out` (which must have
+/// room for inputs.size() digests). Each input must individually satisfy
+/// whatever length it likes; short ones take the one-shot path. This is the
+/// multi-buffer seam: a SIMD backend can compress 4/8 lanes at once here
+/// while callers (the dictionary rebuild loop) stay unchanged.
+void hash20_batch(std::span<const ByteSpan> inputs, Digest20* out) noexcept;
 
 }  // namespace ritm::crypto

@@ -8,15 +8,25 @@
 namespace ritm::dict {
 
 namespace {
+
 int cmp_serial(const cert::SerialNumber& a, const cert::SerialNumber& b) {
   return ritm::compare(ByteSpan(a.value), ByteSpan(b.value));
 }
+
+void validate_serials(const std::vector<cert::SerialNumber>& serials) {
+  for (const auto& s : serials) {
+    if (s.value.empty() || s.value.size() > cert::kMaxSerialBytes) {
+      throw std::invalid_argument("Dictionary::insert: bad serial length");
+    }
+  }
+}
+
 }  // namespace
 
 const crypto::Digest20& Dictionary::root() const {
   if (log_.empty()) return empty_root();
   rebuild();
-  return levels_.back()[0];
+  return node(level_count_ - 1, 0);
 }
 
 std::size_t Dictionary::lower_bound(const cert::SerialNumber& s) const {
@@ -44,34 +54,37 @@ std::optional<std::uint64_t> Dictionary::number_of(
 
 std::vector<Entry> Dictionary::insert(
     const std::vector<cert::SerialNumber>& serials) {
+  // Validate everything before mutating anything, so a bad serial anywhere
+  // in the batch leaves the dictionary untouched.
+  validate_serials(serials);
+
   std::vector<Entry> added;
 
   // Small batches: in-place sorted insertion, O(batch * n) moves.
   // Large batches (Heartbleed-scale): append everything, then one re-sort.
+  // Both paths skip serials already present — in the dictionary or earlier
+  // in the same batch — so numbering is identical regardless of which path
+  // a batch takes.
   constexpr std::size_t kBatchThreshold = 64;
 
   if (serials.size() <= kBatchThreshold) {
     for (const auto& s : serials) {
-      if (s.value.empty() || s.value.size() > cert::kMaxSerialBytes) {
-        throw std::invalid_argument("Dictionary::insert: bad serial length");
-      }
       const std::size_t pos = lower_bound(s);
       if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, s) == 0) {
-        continue;  // already revoked; idempotent
+        continue;  // already revoked (or duplicated in batch); idempotent
       }
       Entry e{s, log_.size() + 1};
       log_.push_back(e);
       sorted_.insert(sorted_.begin() + static_cast<std::ptrdiff_t>(pos),
                      static_cast<std::uint32_t>(log_.size() - 1));
+      mark_dirty(pos);
       added.push_back(std::move(e));
     }
   } else {
+    const std::size_t old_size = log_.size();
     std::unordered_set<std::string> batch_seen;
     batch_seen.reserve(serials.size());
     for (const auto& s : serials) {
-      if (s.value.empty() || s.value.size() > cert::kMaxSerialBytes) {
-        throw std::invalid_argument("Dictionary::insert: bad serial length");
-      }
       std::string key(s.value.begin(), s.value.end());
       if (!batch_seen.insert(std::move(key)).second) continue;
       if (contains(s)) continue;  // lookups see only pre-batch entries
@@ -88,9 +101,16 @@ std::vector<Entry> Dictionary::insert(
                 [&](std::uint32_t a, std::uint32_t b) {
                   return cmp_serial(log_[a].serial, log_[b].serial) < 0;
                 });
+      // Leaves before the first new entry kept their positions; everything
+      // from it onward shifted or is new.
+      for (std::size_t i = 0; i < sorted_.size(); ++i) {
+        if (sorted_[i] >= old_size) {
+          mark_dirty(i);
+          break;
+        }
+      }
     }
   }
-  if (!added.empty()) tree_valid_ = false;
   return added;
 }
 
@@ -101,39 +121,113 @@ bool Dictionary::update(const std::vector<cert::SerialNumber>& serials,
   insert(serials);
   if (size() == expected_n && root() == expected_root) return true;
 
-  // Reject and roll back: drop every entry numbered above old_size.
+  // Reject and roll back: drop every entry numbered above old_size, and
+  // drop the (partially rebuilt) tree wholesale — the incremental machinery
+  // only handles growth, so a shrink forces the next root() to rebuild from
+  // scratch, which reproduces the pre-update root byte for byte.
   log_.resize(old_size);
   sorted_.erase(std::remove_if(sorted_.begin(), sorted_.end(),
                                [&](std::uint32_t idx) {
                                  return idx >= old_size;
                                }),
                 sorted_.end());
-  tree_valid_ = false;
+  invalidate_tree();
   return false;
+}
+
+void Dictionary::mark_dirty(std::size_t pos) noexcept {
+  tree_valid_ = false;
+  if (pos < dirty_lo_) dirty_lo_ = pos;
+}
+
+void Dictionary::invalidate_tree() const noexcept {
+  tree_valid_ = false;
+  dirty_lo_ = 0;
+  built_leaves_ = 0;
+}
+
+void Dictionary::layout(std::size_t n) const {
+  std::size_t cap = 1;
+  while (cap < n) cap <<= 1;
+  leaf_cap_ = cap;
+  std::size_t levels = 1;
+  for (std::size_t c = cap; c > 1; c >>= 1) ++levels;
+  level_off_.resize(levels);
+  level_size_.assign(levels, 0);
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    level_off_[l] = off;
+    off += cap >> l;
+  }
+  tree_.resize(off);  // 2*cap - 1 nodes
+  built_leaves_ = 0;
+  dirty_lo_ = 0;
+}
+
+void Dictionary::hash_leaves(std::size_t lo, std::size_t n) const {
+  constexpr std::size_t kChunk = 64;
+  std::uint8_t enc[kChunk][kLeafPreimageMax];
+  ByteSpan spans[kChunk];
+  for (std::size_t base = lo; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      const Entry& e = log_[sorted_[base + j]];
+      spans[j] = ByteSpan(enc[j], encode_leaf_preimage(e, enc[j]));
+    }
+    crypto::hash20_batch(std::span<const ByteSpan>(spans, m),
+                         &node(0, base));
+    last_rebuild_hashes_ += m;
+  }
 }
 
 void Dictionary::rebuild() const {
   if (tree_valid_) return;
-  levels_.clear();
-  if (log_.empty()) {
+  const std::size_t n = sorted_.size();
+  last_rebuild_hashes_ = 0;
+  if (n == 0) {
+    tree_.clear();
+    level_off_.clear();
+    level_size_.clear();
+    level_count_ = 0;
+    leaf_cap_ = 0;
+    built_leaves_ = 0;
+    dirty_lo_ = kClean;
     tree_valid_ = true;
     return;
   }
-  std::vector<crypto::Digest20> level;
-  level.reserve(sorted_.size());
-  for (std::uint32_t idx : sorted_) level.push_back(leaf_hash(log_[idx]));
-  levels_.push_back(std::move(level));
-  while (levels_.back().size() > 1) {
-    const auto& prev = levels_.back();
-    std::vector<crypto::Digest20> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-      next.push_back(node_hash(prev[i], prev[i + 1]));
+
+  // Incremental is possible only while growing within the current arena;
+  // otherwise lay out a fresh arena and rehash everything.
+  if (built_leaves_ == 0 || n < built_leaves_ || n > leaf_cap_) layout(n);
+
+  std::size_t lo = std::min(dirty_lo_, n);
+  hash_leaves(lo, n);
+  level_size_[0] = n;
+
+  std::size_t size = n;
+  std::size_t level = 0;
+  while (size > 1) {
+    const std::size_t next_size = (size + 1) / 2;
+    const std::size_t next_lo = lo >> 1;
+    for (std::size_t i = next_lo; i < next_size; ++i) {
+      const crypto::Digest20& l = node(level, 2 * i);
+      if (2 * i + 1 < size) {
+        node(level + 1, i) = node_hash(l, node(level, 2 * i + 1));
+        ++last_rebuild_hashes_;
+      } else {
+        node(level + 1, i) = l;  // promote the odd node unchanged
+      }
     }
-    if (prev.size() % 2 == 1) next.push_back(prev.back());  // promote
-    levels_.push_back(std::move(next));
+    level_size_[level + 1] = next_size;
+    size = next_size;
+    lo = next_lo;
+    ++level;
   }
+  level_count_ = level + 1;
+  built_leaves_ = n;
+  dirty_lo_ = kClean;
   tree_valid_ = true;
+  total_hashes_ += last_rebuild_hashes_;
 }
 
 LeafProof Dictionary::make_leaf_proof(std::size_t sorted_pos) const {
@@ -141,11 +235,11 @@ LeafProof Dictionary::make_leaf_proof(std::size_t sorted_pos) const {
   LeafProof p;
   p.entry = at_sorted(sorted_pos);
   p.index = sorted_pos;
+  p.path.reserve(level_count_ > 0 ? level_count_ - 1 : 0);
   std::size_t pos = sorted_pos;
-  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
-    const auto& level = levels_[lvl];
+  for (std::size_t lvl = 0; lvl + 1 < level_count_; ++lvl) {
     const std::size_t sibling = pos ^ 1;
-    if (sibling < level.size()) p.path.push_back(level[sibling]);
+    if (sibling < level_size_[lvl]) p.path.push_back(node(lvl, sibling));
     pos >>= 1;
   }
   return p;
@@ -190,9 +284,9 @@ std::size_t Dictionary::memory_bytes() const noexcept {
   std::size_t total = 0;
   for (const auto& e : log_) total += sizeof(Entry) + e.serial.value.capacity();
   total += sorted_.capacity() * sizeof(std::uint32_t);
-  for (const auto& level : levels_) {
-    total += level.capacity() * sizeof(crypto::Digest20);
-  }
+  total += tree_.capacity() * sizeof(crypto::Digest20);
+  total += (level_off_.capacity() + level_size_.capacity()) *
+           sizeof(std::size_t);
   return total;
 }
 

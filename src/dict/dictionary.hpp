@@ -6,11 +6,18 @@
 // use the same class; `update` implements the RA-side acceptance rule.
 //
 // Representation: an append-only log in revocation-number order plus a
-// sorted-by-serial index; the Merkle level array is rebuilt lazily after
-// mutations (O(n) hashing). Proof generation is O(log n).
+// sorted-by-serial index. The Merkle tree lives in one flat contiguous
+// digest arena with per-level offsets (leaf capacity rounded to a power of
+// two, so offsets stay stable as the dictionary grows) and is rebuilt lazily
+// and *incrementally*: mutations record the lowest dirtied sorted position,
+// and the rebuild rehashes only leaves [dirty_lo, n) plus their ancestor
+// spine. A Δ-batch of appends past the current maximum serial therefore
+// costs O(batch + log n) hashes instead of O(n). Proof generation is
+// O(log n).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -34,8 +41,11 @@ class Dictionary {
   std::optional<std::uint64_t> number_of(const cert::SerialNumber& serial) const;
 
   /// CA-side insert (Fig. 2): appends each new serial with the next
-  /// consecutive number. Serials already present are skipped. Returns the
-  /// entries actually appended, in numbering order.
+  /// consecutive number. Serials already present — in the dictionary or
+  /// earlier in the same batch — are skipped, so numbering is idempotent
+  /// regardless of batch size. Returns the entries actually appended, in
+  /// numbering order. Throws (before any mutation) if a serial has an
+  /// invalid length.
   std::vector<Entry> insert(const std::vector<cert::SerialNumber>& serials);
 
   /// RA-side update (Fig. 2): replays `serials` and accepts iff the rebuilt
@@ -56,12 +66,39 @@ class Dictionary {
   /// the paper's "storage overhead" (§VII-D).
   std::size_t storage_bytes() const noexcept;
 
-  /// Bytes of in-memory state including the Merkle level array — the
-  /// paper's "memory required to build and keep all dictionaries" (§VII-D).
+  /// Bytes of in-memory state including the Merkle arena — the paper's
+  /// "memory required to build and keep all dictionaries" (§VII-D).
   std::size_t memory_bytes() const noexcept;
 
+  /// SHA-256 invocations performed by the most recent rebuild, and in total
+  /// over this dictionary's lifetime (ablation/bench metrics mirroring
+  /// MerkleTreap::last_rehash_count).
+  std::uint64_t last_rebuild_hash_count() const noexcept {
+    return last_rebuild_hashes_;
+  }
+  std::uint64_t total_hash_count() const noexcept { return total_hashes_; }
+
+  /// Drops all incremental rebuild state so the next root() performs a full
+  /// O(n) rebuild — a bench/testing hook that reproduces the pre-incremental
+  /// cost model and lets tests pin incremental == full.
+  void invalidate_tree() const noexcept;
+
  private:
+  static constexpr std::size_t kClean = std::numeric_limits<std::size_t>::max();
+
   void rebuild() const;
+  /// (Re)allocates the flat arena for `n` leaves: capacity is the next power
+  /// of two, offsets are derived from capacity so they survive growth.
+  void layout(std::size_t n) const;
+  /// Hashes leaves [lo, n) into level 0 via the batch entry point.
+  void hash_leaves(std::size_t lo, std::size_t n) const;
+  /// Records that sorted positions >= pos must be rehashed.
+  void mark_dirty(std::size_t pos) noexcept;
+
+  crypto::Digest20& node(std::size_t level, std::size_t i) const {
+    return tree_[level_off_[level] + i];
+  }
+
   /// Position in sorted_ of first entry with serial >= s.
   std::size_t lower_bound(const cert::SerialNumber& s) const;
   LeafProof make_leaf_proof(std::size_t sorted_pos) const;
@@ -70,8 +107,19 @@ class Dictionary {
   std::vector<Entry> log_;            // numbering order, append-only
   std::vector<std::uint32_t> sorted_; // indices into log_, sorted by serial
 
-  mutable std::vector<std::vector<crypto::Digest20>> levels_;
+  // Flat Merkle arena: level 0 (leaves) first, root level last. Offsets are
+  // computed from leaf_cap_ (a power of two), so growing n within capacity
+  // never moves existing nodes.
+  mutable std::vector<crypto::Digest20> tree_;
+  mutable std::vector<std::size_t> level_off_;
+  mutable std::vector<std::size_t> level_size_;
+  mutable std::size_t level_count_ = 0;
+  mutable std::size_t leaf_cap_ = 0;
+  mutable std::size_t built_leaves_ = 0;   // leaves in the built tree
+  mutable std::size_t dirty_lo_ = kClean;  // lowest stale sorted position
   mutable bool tree_valid_ = false;
+  mutable std::uint64_t last_rebuild_hashes_ = 0;
+  mutable std::uint64_t total_hashes_ = 0;
 };
 
 }  // namespace ritm::dict

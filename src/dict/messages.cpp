@@ -1,6 +1,7 @@
 #include "dict/messages.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/io.hpp"
 
@@ -39,13 +40,23 @@ std::optional<crypto::Digest20> decode_digest(ByteReader& r) {
   return d;
 }
 
+/// Computed length prefixes must keep the overflow guard the old
+/// encode-then-var16 pattern had: a >64 KiB nested structure must throw,
+/// not silently truncate the prefix.
+std::uint16_t checked_u16(std::size_t len) {
+  if (len > 0xFFFF) throw std::length_error("message field exceeds 64 KiB");
+  return static_cast<std::uint16_t>(len);
+}
+
 }  // namespace
 
 Bytes RevocationIssuance::encode() const {
-  ByteWriter w;
+  Bytes out;
+  ByteWriter w(out);
   encode_serials(w, serials);
-  w.var16(ByteSpan(signed_root.encode()));
-  return w.take();
+  w.u16(checked_u16(signed_root.wire_size()));
+  signed_root.encode_into(out);
+  return out;
 }
 
 std::optional<RevocationIssuance> RevocationIssuance::decode(ByteSpan data) {
@@ -83,12 +94,22 @@ std::optional<FreshnessStatement> FreshnessStatement::decode(ByteSpan data) {
   return m;
 }
 
-Bytes RevocationStatus::encode() const {
-  ByteWriter w;
-  w.var16(ByteSpan(proof.encode()));
-  w.var16(ByteSpan(signed_root.encode()));
+void RevocationStatus::encode_into(Bytes& out) const {
+  // Length prefixes are computed sizes, so the nested structures encode
+  // straight into `out` with no intermediate buffers.
+  ByteWriter w(out);
+  w.u16(checked_u16(proof.wire_size()));
+  proof.encode_into(out);
+  w.u16(checked_u16(signed_root.wire_size()));
+  signed_root.encode_into(out);
   w.raw(ByteSpan(freshness.data(), freshness.size()));
-  return w.take();
+}
+
+Bytes RevocationStatus::encode() const {
+  Bytes out;
+  out.reserve(wire_size());
+  encode_into(out);
+  return out;
 }
 
 std::optional<RevocationStatus> RevocationStatus::decode(ByteSpan data) {
@@ -131,17 +152,30 @@ std::optional<SyncRequest> SyncRequest::decode(ByteSpan data) {
   return m;
 }
 
-Bytes SyncResponse::encode() const {
-  ByteWriter w;
+std::size_t SyncResponse::wire_size() const noexcept {
+  std::size_t total = 1 + ca.size() + 4;
+  for (const auto& e : entries) total += 1 + e.serial.value.size() + 8;
+  return total + 2 + signed_root.wire_size() + 20;
+}
+
+void SyncResponse::encode_into(Bytes& out) const {
+  ByteWriter w(out);
   w.var8(bytes_of(ca));
   w.u32(static_cast<std::uint32_t>(entries.size()));
   for (const auto& e : entries) {
     w.var8(ByteSpan(e.serial.value));
     w.u64(e.number);
   }
-  w.var16(ByteSpan(signed_root.encode()));
+  w.u16(checked_u16(signed_root.wire_size()));
+  signed_root.encode_into(out);
   w.raw(ByteSpan(freshness.data(), freshness.size()));
-  return w.take();
+}
+
+Bytes SyncResponse::encode() const {
+  Bytes out;
+  out.reserve(wire_size());
+  encode_into(out);
+  return out;
 }
 
 std::optional<SyncResponse> SyncResponse::decode(ByteSpan data) {

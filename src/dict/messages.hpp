@@ -46,12 +46,17 @@ struct RevocationStatus {
   SignedRoot signed_root;
   crypto::Digest20 freshness{};  // latest freshness statement
 
+  /// Appends the wire encoding to `out` — the RA's per-packet status
+  /// assembly path, which must not allocate intermediate buffers.
+  void encode_into(Bytes& out) const;
   Bytes encode() const;
   static std::optional<RevocationStatus> decode(ByteSpan data);
 
   /// The per-connection communication overhead the paper reports as
-  /// 500–900 bytes for the largest CRL (§VII-D).
-  std::size_t wire_size() const { return encode().size(); }
+  /// 500–900 bytes for the largest CRL (§VII-D). Computed, not serialized.
+  std::size_t wire_size() const noexcept {
+    return 2 + proof.wire_size() + 2 + signed_root.wire_size() + 20;
+  }
 
   bool operator==(const RevocationStatus&) const = default;
 };
@@ -75,6 +80,10 @@ struct SyncResponse {
   SignedRoot signed_root;
   crypto::Digest20 freshness{};
 
+  /// Exact encoded size (what an edge server ships an RA), computed.
+  std::size_t wire_size() const noexcept;
+  /// Appends the wire encoding to `out`.
+  void encode_into(Bytes& out) const;
   Bytes encode() const;
   static std::optional<SyncResponse> decode(ByteSpan data);
 

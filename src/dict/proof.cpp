@@ -6,10 +6,9 @@
 
 namespace ritm::dict {
 
-crypto::Digest20 leaf_hash(const Entry& e) noexcept {
-  // Stack-encoded 0x00 ‖ len ‖ serial ‖ number — this runs once per leaf on
-  // every tree rebuild, so it must not allocate.
-  std::uint8_t buf[2 + cert::kMaxSerialBytes + 8];
+std::size_t encode_leaf_preimage(const Entry& e, std::uint8_t* buf) noexcept {
+  // Stack-encoded 0x00 ‖ len ‖ serial ‖ number — this runs once per dirty
+  // leaf on every tree rebuild, so it must not allocate.
   std::size_t off = 0;
   buf[off++] = 0x00;
   buf[off++] = static_cast<std::uint8_t>(e.serial.value.size());
@@ -17,7 +16,12 @@ crypto::Digest20 leaf_hash(const Entry& e) noexcept {
   for (int s = 56; s >= 0; s -= 8) {
     buf[off++] = static_cast<std::uint8_t>(e.number >> s);
   }
-  return crypto::hash20(ByteSpan(buf, off));
+  return off;
+}
+
+crypto::Digest20 leaf_hash(const Entry& e) noexcept {
+  std::uint8_t buf[kLeafPreimageMax];
+  return crypto::hash20(ByteSpan(buf, encode_leaf_preimage(e, buf)));
 }
 
 crypto::Digest20 node_hash(const crypto::Digest20& left,
@@ -97,8 +101,15 @@ std::optional<LeafProof> decode_leaf_proof(ByteReader& r) {
 
 }  // namespace
 
-Bytes Proof::encode() const {
-  ByteWriter w;
+std::size_t Proof::wire_size() const noexcept {
+  if (type == Type::presence) {
+    return 1 + (leaf ? leaf->wire_size() : 0);
+  }
+  return 2 + (left ? left->wire_size() : 0) + (right ? right->wire_size() : 0);
+}
+
+void Proof::encode_into(Bytes& out) const {
+  ByteWriter w(out);
   w.u8(static_cast<std::uint8_t>(type));
   if (type == Type::presence) {
     if (!leaf) throw std::logic_error("presence proof without leaf");
@@ -111,7 +122,13 @@ Bytes Proof::encode() const {
     if (left) encode_leaf_proof(w, *left);
     if (right) encode_leaf_proof(w, *right);
   }
-  return w.take();
+}
+
+Bytes Proof::encode() const {
+  Bytes out;
+  out.reserve(wire_size());
+  encode_into(out);
+  return out;
 }
 
 std::optional<Proof> Proof::decode(ByteSpan data) {

@@ -31,6 +31,15 @@ struct Entry {
   bool operator==(const Entry&) const = default;
 };
 
+/// Upper bound on a leaf-hash preimage: tag + length byte + serial + number.
+constexpr std::size_t kLeafPreimageMax = 2 + cert::kMaxSerialBytes + 8;
+
+/// Writes the leaf-hash preimage 0x00 ‖ len(serial) ‖ serial ‖ number into
+/// `buf` (at least kLeafPreimageMax bytes); returns the encoded length.
+/// Shared by leaf_hash and the dictionary's batch rebuild loop so the two
+/// can never drift apart.
+std::size_t encode_leaf_preimage(const Entry& e, std::uint8_t* buf) noexcept;
+
 /// Leaf hash: H(0x00 ‖ len(serial) ‖ serial ‖ number). Domain-separated from
 /// interior nodes to rule out second-preimage splices.
 crypto::Digest20 leaf_hash(const Entry& e) noexcept;
@@ -48,6 +57,11 @@ struct LeafProof {
   std::uint64_t index = 0;              // position among sorted leaves
   std::vector<crypto::Digest20> path;   // sibling hashes, leaf upward
 
+  /// Exact encoded size, computed without serializing.
+  std::size_t wire_size() const noexcept {
+    return 1 + entry.serial.value.size() + 8 + 8 + 2 + 20 * path.size();
+  }
+
   bool operator==(const LeafProof&) const = default;
 };
 
@@ -64,11 +78,14 @@ struct Proof {
   std::optional<LeafProof> left;   // absence: greatest leaf < serial
   std::optional<LeafProof> right;  // absence: smallest leaf > serial
 
+  /// Appends the wire encoding to `out` (no intermediate buffers).
+  void encode_into(Bytes& out) const;
   Bytes encode() const;
   static std::optional<Proof> decode(ByteSpan data);
 
-  /// Wire size in bytes (what an RA appends to TLS traffic).
-  std::size_t wire_size() const { return encode().size(); }
+  /// Wire size in bytes (what an RA appends to TLS traffic), computed
+  /// without serializing — the hot-path sizing an RA does per packet.
+  std::size_t wire_size() const noexcept;
 
   bool operator==(const Proof&) const = default;
 };

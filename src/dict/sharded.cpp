@@ -80,4 +80,10 @@ std::size_t ShardedDictionary::storage_bytes() const {
   return total;
 }
 
+std::uint64_t ShardedDictionary::total_hash_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [k, shard] : shards_) total += shard.total_hash_count();
+  return total;
+}
+
 }  // namespace ritm::dict

@@ -50,6 +50,12 @@ class ShardedDictionary {
   std::uint64_t total_entries() const;
   std::size_t storage_bytes() const;
 
+  /// SHA-256 invocations across all shard rebuilds (lifetime). Sharding
+  /// multiplies the incremental-rebuild win: each insert dirties only one
+  /// shard's tree, so the other shards' arenas are never touched — and a
+  /// future parallel rebuild can fan the dirty shards across cores.
+  std::uint64_t total_hash_count() const;
+
  private:
   UnixSeconds bucket_width_;
   std::map<std::uint64_t, Dictionary> shards_;

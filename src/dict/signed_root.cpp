@@ -15,15 +15,21 @@ Bytes SignedRoot::tbs() const {
   return w.take();
 }
 
-Bytes SignedRoot::encode() const {
-  ByteWriter w;
+void SignedRoot::encode_into(Bytes& out) const {
+  ByteWriter w(out);
   w.var8(bytes_of(ca));
   w.raw(ByteSpan(root.data(), root.size()));
   w.u64(n);
   w.raw(ByteSpan(freshness_anchor.data(), freshness_anchor.size()));
   w.u64(static_cast<std::uint64_t>(timestamp));
   w.raw(ByteSpan(signature.data(), signature.size()));
-  return w.take();
+}
+
+Bytes SignedRoot::encode() const {
+  Bytes out;
+  out.reserve(wire_size());
+  encode_into(out);
+  return out;
 }
 
 std::optional<SignedRoot> SignedRoot::decode(ByteSpan data) {

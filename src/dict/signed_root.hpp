@@ -26,6 +26,12 @@ struct SignedRoot {
   /// The signed byte string.
   Bytes tbs() const;
 
+  /// Exact encoded size, computed without serializing.
+  std::size_t wire_size() const noexcept {
+    return 1 + ca.size() + 20 + 8 + 20 + 8 + 64;
+  }
+  /// Appends the wire encoding to `out`.
+  void encode_into(Bytes& out) const;
   Bytes encode() const;
   static std::optional<SignedRoot> decode(ByteSpan data);
 

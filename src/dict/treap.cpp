@@ -15,7 +15,8 @@ int cmp(const cert::SerialNumber& a, const cert::SerialNumber& b) {
 
 /// Node hash: H(0x03 ‖ left ‖ len ‖ serial ‖ number ‖ right). The 0x03 tag
 /// domain-separates treap nodes from sorted-tree leaves (0x00) and interior
-/// nodes (0x01).
+/// nodes (0x01). The preimage is at most 71 bytes, so hash20 takes its
+/// one-shot two-block fast path on every rehash.
 crypto::Digest20 treap_node_hash(const crypto::Digest20& left, const Entry& e,
                                  const crypto::Digest20& right) {
   std::uint8_t buf[1 + 20 + 2 + cert::kMaxSerialBytes + 8 + 20];
@@ -243,8 +244,29 @@ bool MerkleTreap::verify(const TreapProof& proof,
   return h == root;
 }
 
+std::size_t TreapProof::wire_size() const noexcept {
+  // u8 present + u16 path length, then per step: var8 serial + u64 number +
+  // 20-byte sibling + u8 direction; a presence terminal adds its entry and
+  // both child hashes.
+  std::size_t total = 1 + 2;
+  for (const auto& step : path) {
+    total += 1 + step.entry.serial.value.size() + 8 + 20 + 1;
+  }
+  if (present && terminal) {
+    total += 1 + terminal->serial.value.size() + 8 + 20 + 20;
+  }
+  return total;
+}
+
 Bytes TreapProof::encode() const {
-  ByteWriter w;
+  Bytes out;
+  out.reserve(wire_size());
+  encode_into(out);
+  return out;
+}
+
+void TreapProof::encode_into(Bytes& out) const {
+  ByteWriter w(out);
   w.u8(present ? 1 : 0);
   w.u16(static_cast<std::uint16_t>(path.size()));
   for (const auto& step : path) {
@@ -258,7 +280,6 @@ Bytes TreapProof::encode() const {
     w.raw(ByteSpan(terminal_left.data(), terminal_left.size()));
     w.raw(ByteSpan(terminal_right.data(), terminal_right.size()));
   }
-  return w.take();
 }
 
 std::optional<TreapProof> TreapProof::decode(ByteSpan data) {

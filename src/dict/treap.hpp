@@ -45,9 +45,12 @@ struct TreapProof {
   crypto::Digest20 terminal_left{};
   crypto::Digest20 terminal_right{};
 
+  /// Appends the wire encoding to `out` (no intermediate buffers).
+  void encode_into(Bytes& out) const;
   Bytes encode() const;
   static std::optional<TreapProof> decode(ByteSpan data);
-  std::size_t wire_size() const { return encode().size(); }
+  /// Exact encoded size, computed without serializing.
+  std::size_t wire_size() const noexcept;
 
   bool operator==(const TreapProof&) const = default;
 };

@@ -76,17 +76,31 @@ Inspection inspect(ByteSpan payload) {
 }
 
 void attach_status(sim::Packet& pkt, const dict::RevocationStatus& status) {
-  const tls::Record rec{tls::ContentType::ritm_status, status.encode()};
-  append(pkt.payload, ByteSpan(tls::encode_record(rec)));
+  // Size the record up front and serialize straight into the packet body —
+  // this runs once per handshake/refresh, so no intermediate buffers. The
+  // packet is live: if encoding throws (malformed proof), restore it rather
+  // than leave a half-written record.
+  const std::size_t mark = pkt.payload.size();
+  try {
+    const std::size_t len = status.wire_size();
+    pkt.payload.reserve(mark + 5 + len);
+    tls::encode_record_header_into(tls::ContentType::ritm_status, len,
+                                   pkt.payload);
+    status.encode_into(pkt.payload);
+  } catch (...) {
+    pkt.payload.resize(mark);
+    throw;
+  }
 }
 
 void replace_status(sim::Packet& pkt, const dict::RevocationStatus& status) {
   auto records = tls::decode_records(ByteSpan(pkt.payload));
   if (records) {
     Bytes rebuilt;
+    rebuilt.reserve(pkt.payload.size());
     for (const auto& rec : *records) {
       if (rec.type == tls::ContentType::ritm_status) continue;
-      append(rebuilt, ByteSpan(tls::encode_record(rec)));
+      tls::encode_record_into(rec, rebuilt);
     }
     pkt.payload = std::move(rebuilt);
   }
@@ -100,12 +114,12 @@ bool confirm_ritm(sim::Packet& pkt) {
   Bytes rebuilt;
   for (const auto& rec : *records) {
     if (rec.type != tls::ContentType::handshake || changed) {
-      append(rebuilt, ByteSpan(tls::encode_record(rec)));
+      tls::encode_record_into(rec, rebuilt);
       continue;
     }
     auto msgs = tls::decode_handshakes(ByteSpan(rec.payload));
     if (!msgs) {
-      append(rebuilt, ByteSpan(tls::encode_record(rec)));
+      tls::encode_record_into(rec, rebuilt);
       continue;
     }
     Bytes new_payload;
@@ -126,9 +140,9 @@ bool confirm_ritm(sim::Packet& pkt) {
       append(new_payload, ByteSpan(tls::encode_handshake(m.type,
                                                          ByteSpan(m.body))));
     }
-    append(rebuilt, ByteSpan(tls::encode_record(
-                        tls::Record{tls::ContentType::handshake,
-                                    std::move(new_payload)})));
+    tls::encode_record_into(
+        tls::Record{tls::ContentType::handshake, std::move(new_payload)},
+        rebuilt);
   }
   if (changed) pkt.payload = std::move(rebuilt);
   return changed;
@@ -145,7 +159,7 @@ std::vector<dict::RevocationStatus> strip_status(sim::Packet& pkt) {
       if (status) out.push_back(std::move(*status));
       continue;
     }
-    append(rebuilt, ByteSpan(tls::encode_record(rec)));
+    tls::encode_record_into(rec, rebuilt);
   }
   pkt.payload = std::move(rebuilt);
   return out;

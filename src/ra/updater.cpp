@@ -45,7 +45,7 @@ void RaUpdater::run_sync(const cert::CaId& ca, UnixSeconds now) {
   const dict::SyncRequest req{ca, store_->have_n(ca)};
   auto resp = sync_(req);
   if (!resp) return;
-  totals_.sync_bytes += resp->encode().size();
+  totals_.sync_bytes += resp->wire_size();
   if (store_->apply_sync(*resp, now) == ApplyResult::ok) {
     ++totals_.applied_ok;
   } else {

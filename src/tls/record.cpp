@@ -1,5 +1,7 @@
 #include "tls/record.hpp"
 
+#include <stdexcept>
+
 #include "common/io.hpp"
 
 namespace ritm::tls {
@@ -18,17 +20,34 @@ bool valid_content_type(std::uint8_t t) noexcept {
 }
 }  // namespace
 
-Bytes encode_record(const Record& r) {
-  ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(r.type));
+void encode_record_header_into(ContentType type, std::size_t payload_len,
+                               Bytes& out) {
+  // Validate before the first write: `out` is caller-owned (often a live
+  // packet body) and must not be left with a half-written header on throw.
+  if (payload_len > 0xFFFF) {
+    throw std::length_error("encode_record_header_into: payload too large");
+  }
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
   w.u16(kTlsVersion12);
-  w.var16(ByteSpan(r.payload));
-  return w.take();
+  w.u16(static_cast<std::uint16_t>(payload_len));
+}
+
+void encode_record_into(const Record& r, Bytes& out) {
+  encode_record_header_into(r.type, r.payload.size(), out);
+  append(out, ByteSpan(r.payload));
+}
+
+Bytes encode_record(const Record& r) {
+  Bytes out;
+  out.reserve(5 + r.payload.size());
+  encode_record_into(r, out);
+  return out;
 }
 
 Bytes encode_records(const std::vector<Record>& rs) {
   Bytes out;
-  for (const auto& r : rs) append(out, ByteSpan(encode_record(r)));
+  for (const auto& r : rs) encode_record_into(r, out);
   return out;
 }
 

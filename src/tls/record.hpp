@@ -35,6 +35,16 @@ struct Record {
 
 Bytes encode_record(const Record& r);
 
+/// Appends the record framing + payload to `out` without an intermediate
+/// buffer (the RA's packet-rebuild path).
+void encode_record_into(const Record& r, Bytes& out);
+
+/// Appends type ‖ version ‖ length framing for a payload of `payload_len`
+/// bytes that the caller will write next — lets the RA serialize a status
+/// straight into a packet body.
+void encode_record_header_into(ContentType type, std::size_t payload_len,
+                               Bytes& out);
+
 /// Encodes several records back-to-back (one packet payload).
 Bytes encode_records(const std::vector<Record>& rs);
 

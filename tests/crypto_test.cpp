@@ -89,6 +89,53 @@ TEST(Sha256, PairHashMatchesConcat) {
   EXPECT_EQ(hash20_pair(a, b), hash20(span_of(cat)));
 }
 
+TEST(Sha256, ShortFastPathMatchesIncrementalEveryLength) {
+  // The one-shot single/double-block path must agree with the streaming
+  // implementation at every length it claims, both sides of every padding
+  // boundary (55/56, 64, 119), and just past its limit.
+  Rng rng(42);
+  for (std::size_t len = 0; len <= kSha256ShortMax + 16; ++len) {
+    const Bytes msg = rng.bytes(len);
+    Sha256 streaming;
+    // Feed in uneven chunks so the buffer machinery is exercised.
+    std::size_t off = 0;
+    while (off < len) {
+      const std::size_t take = std::min<std::size_t>(1 + off % 7, len - off);
+      streaming.update(ByteSpan(msg.data() + off, take));
+      off += take;
+    }
+    const auto reference = streaming.finish();
+    EXPECT_EQ(hex_of(Sha256::hash(span_of(msg))), hex_of(reference))
+        << "length " << len;
+    if (len <= kSha256ShortMax) {
+      EXPECT_EQ(hex_of(sha256_short(span_of(msg))), hex_of(reference))
+          << "length " << len;
+    }
+  }
+}
+
+TEST(Sha256, Rehash20IsOneChainLink) {
+  Digest20 d{};
+  d.fill(0x5A);
+  EXPECT_EQ(rehash20(d), hash20(ByteSpan(d.data(), d.size())));
+}
+
+TEST(Sha256, BatchMatchesScalar) {
+  Rng rng(7);
+  std::vector<Bytes> msgs;
+  std::vector<ByteSpan> spans;
+  for (std::size_t i = 0; i < 67; ++i) {
+    msgs.push_back(rng.bytes(i % 40));
+    spans.push_back(span_of(msgs.back()));
+  }
+  std::vector<Digest20> out(spans.size());
+  hash20_batch(std::span<const ByteSpan>(spans.data(), spans.size()),
+               out.data());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(out[i], hash20(spans[i])) << "lane " << i;
+  }
+}
+
 // ---------------------------------------------------------------- SHA-512
 
 TEST(Sha512, EmptyString) {

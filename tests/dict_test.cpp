@@ -9,6 +9,7 @@
 #include "dict/dictionary.hpp"
 #include "dict/messages.hpp"
 #include "dict/signed_root.hpp"
+#include "dict/treap.hpp"
 
 namespace ritm::dict {
 namespace {
@@ -356,6 +357,195 @@ TEST(DictionaryProperty, VariableLengthSerialsSortLexicographically) {
   const auto p = d.prove(between);
   EXPECT_EQ(p.type, Proof::Type::absence);
   EXPECT_TRUE(verify_proof(p, between, d.root(), d.size()));
+}
+
+// ------------------------------------------------------- incremental tree
+
+TEST(Update, RejectedUpdateLeavesRootByteIdentical) {
+  // Regression for the rollback path: a rejected update must leave root()
+  // byte-identical to the pre-update root, including when the incremental
+  // rebuild state is hot from earlier mutations.
+  Dictionary ca_dict, ra_dict;
+  ca_dict.insert(serial_range(1, 200));
+  ASSERT_TRUE(ra_dict.update(serial_range(1, 200), ca_dict.root(), 200));
+  // Warm the incremental machinery with a few small replayed batches.
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    const auto batch = serial_range(201 + 10 * b, 10);
+    ca_dict.insert(batch);
+    ASSERT_TRUE(ra_dict.update(batch, ca_dict.root(), ca_dict.size()));
+  }
+  const auto before = ra_dict.root();
+  const std::uint64_t before_n = ra_dict.size();
+
+  crypto::Digest20 bogus = before;
+  bogus[0] ^= 0x80;
+  // Small-batch path rollback.
+  EXPECT_FALSE(ra_dict.update(serial_range(500, 5), bogus, before_n + 5));
+  EXPECT_EQ(ra_dict.size(), before_n);
+  EXPECT_EQ(ra_dict.root(), before);
+  // Large-batch path rollback.
+  EXPECT_FALSE(ra_dict.update(serial_range(500, 100), bogus, before_n + 100));
+  EXPECT_EQ(ra_dict.size(), before_n);
+  EXPECT_EQ(ra_dict.root(), before);
+  // The rolled-back replica must still serve verifying proofs.
+  const auto proof = ra_dict.prove(sn(100));
+  EXPECT_TRUE(verify_proof(proof, sn(100), ra_dict.root(), ra_dict.size()));
+}
+
+TEST(Insert, DuplicateSerialsNumberIdenticallyAcrossBatchPaths) {
+  // A batch with repeated serials must produce the same numbering (first
+  // occurrence wins) whether it takes the small-batch (<=64) in-place path
+  // or the large-batch append-and-resort path.
+  std::vector<SerialNumber> uniques;
+  for (std::uint64_t i = 0; i < 40; ++i) uniques.push_back(sn(1000 + 7 * i));
+
+  std::vector<SerialNumber> small_batch = uniques;  // 42 items: small path
+  small_batch.push_back(uniques[5]);
+  small_batch.push_back(uniques[7]);
+
+  std::vector<SerialNumber> large_batch;  // 80 items: large path
+  for (const auto& s : uniques) {
+    large_batch.push_back(s);
+    large_batch.push_back(s);
+  }
+
+  Dictionary a, b;
+  a.insert({uniques[10]});  // pre-existing overlap in both
+  b.insert({uniques[10]});
+  const auto added_a = a.insert(small_batch);
+  const auto added_b = b.insert(large_batch);
+
+  ASSERT_EQ(added_a.size(), 39u);
+  ASSERT_EQ(added_b.size(), 39u);
+  for (std::size_t i = 0; i < added_a.size(); ++i) {
+    EXPECT_EQ(added_a[i], added_b[i]) << "entry " << i;
+  }
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.root(), b.root());
+  for (const auto& s : uniques) {
+    EXPECT_EQ(a.number_of(s), b.number_of(s));
+  }
+}
+
+TEST(Insert, InvalidSerialAnywhereInBatchLeavesDictionaryUntouched) {
+  Dictionary d;
+  d.insert(serial_range(1, 10));
+  const auto before = d.root();
+  std::vector<SerialNumber> bad = serial_range(100, 5);
+  bad.push_back(SerialNumber{{}});  // empty serial: invalid
+  EXPECT_THROW(d.insert(bad), std::invalid_argument);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.root(), before);
+}
+
+TEST(Dictionary, AppendBatchesRehashOnlyTheSpine) {
+  // 4000 leaves: under the 4096 arena capacity, so appends stay incremental
+  // (crossing a power-of-two boundary legitimately re-lays-out the arena).
+  Dictionary d;
+  std::vector<SerialNumber> base;
+  for (std::uint64_t i = 0; i < 4000; ++i) base.push_back(sn(2 * i + 1));
+  d.insert(base);
+  (void)d.root();
+  const std::uint64_t full = d.last_rebuild_hash_count();
+  EXPECT_GE(full, 4000u);  // every leaf plus the interior
+
+  // A Δ-batch of appends past the current maximum serial touches only the
+  // new leaves and the right spine: O(batch + log n), not O(n).
+  std::vector<SerialNumber> delta;
+  for (std::uint64_t i = 0; i < 16; ++i) delta.push_back(sn(100000 + i));
+  d.insert(delta);
+  (void)d.root();
+  const std::uint64_t incremental = d.last_rebuild_hash_count();
+  EXPECT_LE(incremental, 16 + 2 * 16 + 32);
+  EXPECT_LT(incremental * 20, full);
+}
+
+TEST(Dictionary, GoldenRootPinsWireFormat) {
+  // Golden vector computed with the seed (pre-incremental) implementation:
+  // the flat-arena rebuild must stay byte-compatible with it forever, since
+  // RAs compare recomputed roots against CA-signed roots on the wire.
+  Dictionary d;
+  for (std::uint64_t b = 0; b < 5; ++b) {
+    std::vector<SerialNumber> batch;
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      batch.push_back(SerialNumber::from_uint(1 + 3 * (b * 20 + i)));
+    }
+    d.insert(batch);
+  }
+  const auto& r = d.root();
+  EXPECT_EQ(ritm::to_hex(ByteSpan(r.data(), r.size())),
+            "21b8a53ff116c4b853c438796e3ab3b295a9caf4");
+}
+
+TEST(DictionaryProperty, IncrementalFullRebuildAndReplayAgree) {
+  // 1k random insert batches: the incrementally maintained tree, a control
+  // tree forced through a full rebuild every batch, a replica replaying via
+  // update(), and a Merkle treap replica must all stay self-consistent.
+  Rng rng(20260727);
+  Dictionary incremental, control, replica;
+  MerkleTreap treap, treap_replica;
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<SerialNumber> batch;
+    const std::uint64_t batch_size = 1 + rng.uniform(4);
+    for (std::uint64_t i = 0; i < batch_size; ++i) {
+      batch.push_back(sn(rng.uniform(1u << 16)));
+    }
+    incremental.insert(batch);
+    control.insert(batch);
+    control.invalidate_tree();  // force the O(n) from-scratch rebuild
+    const auto root = incremental.root();
+    ASSERT_EQ(root, control.root()) << "round " << round;
+    ASSERT_TRUE(replica.update(batch, root, incremental.size()))
+        << "round " << round;
+
+    treap.insert(batch);
+    ASSERT_TRUE(treap_replica.update(batch, treap.root(), treap.size()))
+        << "round " << round;
+  }
+  EXPECT_EQ(incremental.size(), replica.size());
+  EXPECT_EQ(treap.size(), treap_replica.size());
+}
+
+TEST(Proof, WireSizeMatchesEncodedSizeEverywhere) {
+  Dictionary empty;
+  const auto empty_absence = empty.prove(sn(9));
+  EXPECT_EQ(empty_absence.wire_size(), empty_absence.encode().size());
+
+  Dictionary d;
+  std::vector<SerialNumber> serials;
+  for (std::uint64_t i = 0; i < 100; ++i) serials.push_back(sn(2 * i + 1));
+  d.insert(serials);
+
+  const auto presence = d.prove(sn(51));
+  ASSERT_EQ(presence.type, Proof::Type::presence);
+  EXPECT_EQ(presence.wire_size(), presence.encode().size());
+
+  const auto between = d.prove(sn(50));  // two neighbours
+  ASSERT_EQ(between.type, Proof::Type::absence);
+  EXPECT_EQ(between.wire_size(), between.encode().size());
+
+  const auto before_all = d.prove(sn(0));  // right neighbour only
+  EXPECT_EQ(before_all.wire_size(), before_all.encode().size());
+  const auto after_all = d.prove(sn(100000));  // left neighbour only
+  EXPECT_EQ(after_all.wire_size(), after_all.encode().size());
+
+  SignedRoot sr;
+  sr.ca = "CA-wire-size";
+  sr.root = d.root();
+  sr.n = d.size();
+  EXPECT_EQ(sr.wire_size(), sr.encode().size());
+
+  RevocationStatus status;
+  status.proof = between;
+  status.signed_root = sr;
+  status.freshness.fill(0x33);
+  EXPECT_EQ(status.wire_size(), status.encode().size());
+
+  SyncResponse resp;
+  resp.ca = "CA-wire-size";
+  resp.entries = {Entry{sn(100), 1}, Entry{sn(50), 2}};
+  resp.signed_root = sr;
+  EXPECT_EQ(resp.wire_size(), resp.encode().size());
 }
 
 // ------------------------------------------------------------- signed root

@@ -154,6 +154,21 @@ TEST(TreapProof, EncodeDecodeRoundTrip) {
   }
 }
 
+TEST(TreapProof, WireSizeMatchesEncodedSize) {
+  MerkleTreap empty;
+  const auto empty_proof = empty.prove(sn(1));
+  EXPECT_EQ(empty_proof.wire_size(), empty_proof.encode().size());
+
+  MerkleTreap t;
+  t.insert(serial_range(1, 100));
+  const auto presence = t.prove(sn(50));
+  ASSERT_TRUE(presence.present);
+  EXPECT_EQ(presence.wire_size(), presence.encode().size());
+  const auto absence = t.prove(sn(1000));
+  ASSERT_FALSE(absence.present);
+  EXPECT_EQ(absence.wire_size(), absence.encode().size());
+}
+
 TEST(TreapProof, DecodeRejectsCorruptInput) {
   MerkleTreap t;
   t.insert(serial_range(1, 10));
