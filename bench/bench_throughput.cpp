@@ -15,7 +15,9 @@
 #include "ca/authority.hpp"
 #include "client/client.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "dict/dictionary.hpp"
+#include "dict/sharded.hpp"
 #include "ra/agent.hpp"
 #include "tls/session.hpp"
 
@@ -26,6 +28,19 @@ double rate_per_sec(std::size_t ops, std::chrono::steady_clock::duration d) {
   const double secs =
       std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
   return double(ops) / secs;
+}
+
+double ns_per_op(std::size_t ops, std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::nano>>(d)
+             .count() /
+         double(ops);
+}
+
+double ms_of(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             d)
+      .count();
 }
 
 /// Dictionary Δ-batch maintenance (the per-CA hot path): appends `batches`
@@ -184,6 +199,174 @@ int main() {
               agent.flow_count(),
               (unsigned long long)agent.stats().statuses_attached);
 
+  // --- status serving: uncached (prove + encode per op) vs the warm
+  // epoch-validated cache (lookup + memcpy per op), over a working set of
+  // serials against the 339k-entry dictionary.
+  double status_cold_ns = 0, status_warm_ns = 0, status_speedup = 0;
+  {
+    constexpr std::size_t kWorkingSet = 512;
+    constexpr std::size_t kOps = 100'000;
+    std::vector<cert::SerialNumber> probes;
+    probes.reserve(kWorkingSet);
+    for (std::size_t i = 0; i < kWorkingSet; ++i) {
+      probes.push_back(cert::SerialNumber::from_uint(i * 13 + 5, 4));
+    }
+    Bytes sink;
+    sink.reserve(2048);
+
+    // Cold path: what every packet paid before the cache existed.
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kOps; ++i) {
+      sink.clear();
+      const auto status = store.status_for(ca.id(), probes[i % kWorkingSet]);
+      status->encode_into(sink);
+    }
+    status_cold_ns = ns_per_op(kOps, std::chrono::steady_clock::now() - start);
+
+    // Warm path: first kWorkingSet lookups prove once, the rest memcpy.
+    start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kOps; ++i) {
+      sink.clear();
+      const auto cached =
+          store.status_bytes_for(ca.id(), probes[i % kWorkingSet]);
+      append(sink, ByteSpan(*cached->bytes));
+    }
+    status_warm_ns = ns_per_op(kOps, std::chrono::steady_clock::now() - start);
+    status_speedup = status_cold_ns / status_warm_ns;
+
+    Table tc({"status serving (n=339,557)", "ns/status", "vs uncached"});
+    tc.add_row({"uncached: prove + encode", Table::num(status_cold_ns, 0),
+                "1.0x"});
+    tc.add_row({"warm cache: lookup + memcpy", Table::num(status_warm_ns, 0),
+                Table::num(status_speedup, 1) + "x"});
+    std::printf("\n== status cache (working set %zu serials) ==\n%s",
+                kWorkingSet, tc.render().c_str());
+  }
+
+  // --- multi-CA handshakes, cold vs warm cache: every handshake carries a
+  // distinct certificate, so the cold pass misses on every serial and the
+  // warm pass (same population, new flows) hits on every serial.
+  constexpr std::size_t kCas = 4;
+  constexpr std::uint64_t kEntriesPerCa = 50'000;
+  constexpr std::size_t kHandshakesPerCa = 2'000;
+  double multi_cold_rate = 0, multi_warm_rate = 0, multi_hit_rate = 0;
+  std::uint64_t multi_invalidations = 0;
+  {
+    Rng mrng(99);
+    std::vector<ca::CertificationAuthority> cas;
+    ra::DictionaryStore mstore;
+    for (std::size_t c = 0; c < kCas; ++c) {
+      ca::CertificationAuthority::Config ccfg;
+      ccfg.id = "CA-M" + std::to_string(c);
+      ccfg.delta = kDelta;
+      cas.emplace_back(ccfg, mrng, 1000);
+      std::vector<cert::SerialNumber> serials;
+      serials.reserve(kEntriesPerCa);
+      for (std::uint64_t i = 0; i < kEntriesPerCa; ++i) {
+        serials.push_back(cert::SerialNumber::from_uint(i * 11 + 3, 4));
+      }
+      cas.back().revoke(std::move(serials), 1000);
+      mstore.register_ca(cas.back().id(), cas.back().public_key(), kDelta);
+      dict::SyncResponse boot;
+      boot.ca = cas.back().id();
+      boot.entries = cas.back().dictionary().entries_from(1);
+      boot.signed_root = cas.back().signed_root();
+      boot.freshness = cas.back().freshness_at(1000);
+      mstore.apply_sync(boot, 1000);
+    }
+    ra::RevocationAgent magent({.delta = kDelta}, &mstore);
+
+    // One pass = kCas * kHandshakesPerCa handshakes, each with its own
+    // (never-revoked) certificate. `port_base` separates the passes' flows.
+    const auto run_pass = [&](std::uint16_t port_base) {
+      std::vector<sim::Packet> hellos, flights;
+      hellos.reserve(kCas * kHandshakesPerCa);
+      flights.reserve(kCas * kHandshakesPerCa);
+      for (std::size_t c = 0; c < kCas; ++c) {
+        for (std::size_t i = 0; i < kHandshakesPerCa; ++i) {
+          const sim::Endpoint ce{std::uint32_t(0x0B000001 + i),
+                                 std::uint16_t(port_base + c)};
+          cert::Certificate leaf2;
+          leaf2.serial = cert::SerialNumber::from_uint(2 + i * 11, 4);
+          leaf2.issuer = cas[c].id();
+          leaf2.subject = "bench.example";
+          hellos.push_back(tls::make_client_hello(ce, se, mrng, true));
+          flights.push_back(
+              tls::make_server_flight(ce, se, mrng, {leaf2}, false));
+        }
+      }
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < hellos.size(); ++i) {
+        magent.process(hellos[i], 1000);
+        magent.process(flights[i], 1000);
+      }
+      return rate_per_sec(hellos.size(),
+                          std::chrono::steady_clock::now() - start);
+    };
+
+    multi_cold_rate = run_pass(20000);  // every serial: cache miss
+    multi_warm_rate = run_pass(30000);  // same population: cache hit
+    // A new issuance per CA drops that CA's cache — the invalidation count
+    // the JSON tracks.
+    for (auto& mca : cas) {
+      mstore.apply_issuance(
+          mca.revoke({cert::SerialNumber::from_uint(1, 4)}, 1010), 1010);
+    }
+    (void)run_pass(40000);  // re-warm after invalidation
+    const auto& cs = mstore.cache_stats();
+    multi_invalidations = cs.invalidations;
+    multi_hit_rate = double(cs.hits) / double(cs.hits + cs.misses);
+
+    Table tm({"multi-CA handshakes (4 CAs x 50k)", "rate (ops/s)"});
+    tm.add_row({"cold cache (all misses)", Table::num(multi_cold_rate, 0)});
+    tm.add_row({"warm cache (all hits)", Table::num(multi_warm_rate, 0)});
+    std::printf("\n%s", tm.render().c_str());
+    std::printf("cache: %llu hits, %llu misses, %llu invalidations "
+                "(hit rate %.3f)\n",
+                (unsigned long long)cs.hits, (unsigned long long)cs.misses,
+                (unsigned long long)cs.invalidations, multi_hit_rate);
+  }
+
+  // --- parallel dirty-shard rebuild: every shard dirtied, then rebuilt
+  // serially vs fanned across the pool. Roots must agree byte for byte.
+  constexpr std::size_t kShards = 64;
+  constexpr std::uint64_t kPerShard = 2'000;
+  double rebuild_serial_ms = 0, rebuild_pool_ms = 0;
+  std::size_t pool_threads = 0;
+  {
+    dict::ShardedDictionary sharded(86'400);
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::uint64_t i = 0; i < kPerShard; ++i) {
+        sharded.insert(
+            cert::SerialNumber::from_uint(s * 1'000'000 + i * 5 + 1, 4),
+            static_cast<UnixSeconds>(s) * 86'400 + 1000);
+      }
+    }
+    dict::ShardedDictionary parallel = sharded;  // identical dirty state
+    // Pinned worker count: with the default (hardware_concurrency) a
+    // single-core host would fall into run_indexed's inline path and the
+    // "pool" row would silently measure serial code.
+    ThreadPool pool(4);
+    pool_threads = pool.thread_count();
+
+    auto start = std::chrono::steady_clock::now();
+    const std::size_t rebuilt_serial = sharded.rebuild_dirty(nullptr);
+    rebuild_serial_ms = ms_of(std::chrono::steady_clock::now() - start);
+
+    start = std::chrono::steady_clock::now();
+    const std::size_t rebuilt_pool = parallel.rebuild_dirty(&pool);
+    rebuild_pool_ms = ms_of(std::chrono::steady_clock::now() - start);
+
+    const bool roots_match = sharded.shard_roots() == parallel.shard_roots();
+    std::printf("\n== sharded rebuild (%zu shards x %llu entries) ==\n",
+                kShards, (unsigned long long)kPerShard);
+    std::printf("serial: %zu shards in %.2f ms; pool(%zu): %zu shards in "
+                "%.2f ms; roots %s\n",
+                rebuilt_serial, rebuild_serial_ms, pool_threads, rebuilt_pool,
+                rebuild_pool_ms, roots_match ? "identical" : "DIVERGED!");
+    if (!roots_match) return 1;
+  }
+
   // --- dictionary Δ-batch update throughput (100k-entry dictionary).
   constexpr std::uint64_t kDictBase = 100'000;
   constexpr std::size_t kDictBatches = 200;
@@ -221,6 +404,26 @@ int main() {
                  "  \"ra_non_tls_packets_per_sec\": %.0f,\n"
                  "  \"ra_handshakes_per_sec\": %.0f,\n"
                  "  \"client_validations_per_sec\": %.0f,\n"
+                 "  \"status_cache\": {\n"
+                 "    \"uncached_ns_per_status\": %.1f,\n"
+                 "    \"warm_ns_per_status\": %.1f,\n"
+                 "    \"speedup\": %.1f\n"
+                 "  },\n"
+                 "  \"multi_ca_handshakes\": {\n"
+                 "    \"cas\": %zu,\n"
+                 "    \"entries_per_ca\": %llu,\n"
+                 "    \"cold_per_sec\": %.0f,\n"
+                 "    \"warm_per_sec\": %.0f,\n"
+                 "    \"cache_hit_rate\": %.4f,\n"
+                 "    \"cache_invalidations\": %llu\n"
+                 "  },\n"
+                 "  \"sharded_rebuild\": {\n"
+                 "    \"shards\": %zu,\n"
+                 "    \"entries_per_shard\": %llu,\n"
+                 "    \"serial_ms\": %.2f,\n"
+                 "    \"pool_ms\": %.2f,\n"
+                 "    \"pool_threads\": %zu\n"
+                 "  },\n"
                  "  \"dict_update\": {\n"
                  "    \"base_entries\": %llu,\n"
                  "    \"batches\": %zu,\n"
@@ -233,12 +436,22 @@ int main() {
                  "  }\n"
                  "}\n",
                  non_tls_rate, handshake_rate, validation_rate,
+                 status_cold_ns, status_warm_ns, status_speedup, kCas,
+                 (unsigned long long)kEntriesPerCa, multi_cold_rate,
+                 multi_warm_rate, multi_hit_rate,
+                 (unsigned long long)multi_invalidations, kShards,
+                 (unsigned long long)kPerShard, rebuild_serial_ms,
+                 rebuild_pool_ms, pool_threads,
                  (unsigned long long)kDictBase, kDictBatches, kDictBatchSize,
                  inc.entries_per_sec, inc.ns_per_entry,
                  (unsigned long long)inc.hashes, full.entries_per_sec,
                  full.ns_per_entry, (unsigned long long)full.hashes, speedup);
     std::fclose(f);
     std::printf("wrote BENCH_throughput.json\n");
+  }
+  if (status_speedup < 10.0) {
+    std::printf("WARNING: warm-cache status path only %.1fx faster than "
+                "uncached (acceptance floor: 10x)\n", status_speedup);
   }
   return 0;
 }

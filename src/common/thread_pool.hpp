@@ -1,0 +1,64 @@
+// A small fixed-size worker pool for fan-out/join parallelism.
+//
+// The dictionary layer uses it to rebuild independent dirty shards across
+// cores (ShardedDictionary::rebuild_dirty): each insert dirties exactly one
+// shard's Merkle tree, the trees share no state, so the rebuilds are
+// embarrassingly parallel. The pool is deliberately minimal — a locked queue
+// plus a pending counter — because tasks here are coarse (thousands of
+// hashes each), not micro-work needing a lock-free design.
+//
+// Tasks must not throw; an escaping exception would terminate (the queue
+// runs them under std::function with no rethrow channel by design — the
+// rebuild work it exists for is noexcept in practice).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ritm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task for any worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. The pool is
+  /// reusable afterwards (fan-out / join / fan-out again).
+  void wait();
+
+  /// Fan-out helper: runs fn(0) .. fn(count-1) across the workers and waits
+  /// for all of them. Equivalent to `count` submits plus a wait(), minus the
+  /// per-task std::function allocations.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here for tasks
+  std::condition_variable done_cv_;   // wait() waits here for quiescence
+  std::size_t pending_ = 0;           // queued + currently running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace ritm

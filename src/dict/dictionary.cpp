@@ -93,24 +93,41 @@ std::vector<Entry> Dictionary::insert(
       added.push_back(std::move(e));
     }
     if (!added.empty()) {
-      sorted_.resize(log_.size());
-      for (std::size_t i = 0; i < sorted_.size(); ++i) {
-        sorted_[i] = static_cast<std::uint32_t>(i);
+      // Merge the pre-sorted index with the (sorted) batch in O(n + k)
+      // instead of re-sorting all n + k positions: sort only the k new
+      // log indices, then merge from the back so existing positions shift
+      // right at most once and the prefix below the first new leaf is
+      // never touched.
+      const std::size_t k = log_.size() - old_size;
+      std::vector<std::uint32_t> fresh(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        fresh[j] = static_cast<std::uint32_t>(old_size + j);
       }
-      std::sort(sorted_.begin(), sorted_.end(),
+      std::sort(fresh.begin(), fresh.end(),
                 [&](std::uint32_t a, std::uint32_t b) {
                   return cmp_serial(log_[a].serial, log_[b].serial) < 0;
                 });
-      // Leaves before the first new entry kept their positions; everything
-      // from it onward shifted or is new.
-      for (std::size_t i = 0; i < sorted_.size(); ++i) {
-        if (sorted_[i] >= old_size) {
-          mark_dirty(i);
-          break;
+      sorted_.resize(old_size + k);
+      std::size_t i = old_size;      // unmerged tail of the old index
+      std::size_t j = k;             // unmerged tail of the batch
+      std::size_t w = old_size + k;  // write cursor
+      std::size_t first_new = 0;     // lowest position that received a new leaf
+      while (j > 0) {
+        if (i > 0 &&
+            cmp_serial(log_[sorted_[i - 1]].serial,
+                       log_[fresh[j - 1]].serial) > 0) {
+          sorted_[--w] = sorted_[--i];
+        } else {
+          first_new = --w;
+          sorted_[w] = fresh[--j];
         }
       }
+      // Positions below first_new kept their leaves; everything from it
+      // onward shifted or is new.
+      mark_dirty(first_new);
     }
   }
+  if (!added.empty()) ++epoch_;
   return added;
 }
 
@@ -132,6 +149,10 @@ bool Dictionary::update(const std::vector<cert::SerialNumber>& serials,
                                }),
                 sorted_.end());
   invalidate_tree();
+  // The contents are back to the pre-update state, but the epoch advances
+  // once more: versions never repeat, so epoch-keyed caches stay sound even
+  // across a rollback.
+  ++epoch_;
   return false;
 }
 

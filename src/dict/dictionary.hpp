@@ -35,6 +35,19 @@ class Dictionary {
   /// Current Merkle root (empty_root() when size()==0). Rebuilds if stale.
   const crypto::Digest20& root() const;
 
+  /// Monotonically increasing version counter: bumped on every accepted
+  /// mutation (insert that appends, update — including a rejected update's
+  /// rollback, which conservatively counts as two transitions). Two calls
+  /// observing the same epoch are guaranteed to observe the same contents
+  /// and root, which is what lets the RA's status cache serve encoded
+  /// responses without re-proving (ra::DictionaryStore).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// True when a mutation has outdated the Merkle tree and the next root()
+  /// (or prove()) will pay for a rebuild. ShardedDictionary::rebuild_dirty
+  /// uses this to fan only the dirty shards across a thread pool.
+  bool tree_stale() const noexcept { return !tree_valid_; }
+
   bool contains(const cert::SerialNumber& serial) const;
 
   /// Looks up the revocation number of a serial, if revoked.
@@ -106,6 +119,7 @@ class Dictionary {
 
   std::vector<Entry> log_;            // numbering order, append-only
   std::vector<std::uint32_t> sorted_; // indices into log_, sorted by serial
+  std::uint64_t epoch_ = 0;           // version counter, see epoch()
 
   // Flat Merkle arena: level 0 (leaves) first, root level last. Offsets are
   // computed from leaf_cap_ (a power of two), so growing n within capacity

@@ -21,6 +21,7 @@ std::optional<Entry> ShardedDictionary::insert(
   auto& shard = shards_[shard_of(not_after)];
   const auto added = shard.insert({serial});
   if (added.empty()) return std::nullopt;
+  ++epoch_;
   return added.front();
 }
 
@@ -61,6 +62,7 @@ std::size_t ShardedDictionary::prune(UnixSeconds now) {
     if (now > bucket_end + bucket_width_) {
       reclaimed += it->second.storage_bytes();
       it = shards_.erase(it);
+      ++epoch_;
     } else {
       ++it;
     }
@@ -84,6 +86,38 @@ std::uint64_t ShardedDictionary::total_hash_count() const {
   std::uint64_t total = 0;
   for (const auto& [k, shard] : shards_) total += shard.total_hash_count();
   return total;
+}
+
+std::size_t ShardedDictionary::dirty_shard_count() const {
+  std::size_t dirty = 0;
+  for (const auto& [k, shard] : shards_) dirty += shard.tree_stale();
+  return dirty;
+}
+
+std::size_t ShardedDictionary::rebuild_dirty(ThreadPool* pool) {
+  // Collect first: rebuild order must not depend on map iteration racing
+  // with the pool, and each dirty shard appears exactly once, so no two
+  // tasks ever touch the same Dictionary (root() mutates its arena).
+  std::vector<Dictionary*> dirty;
+  for (auto& [k, shard] : shards_) {
+    if (shard.tree_stale()) dirty.push_back(&shard);
+  }
+  if (dirty.empty()) return 0;
+  if (pool == nullptr || dirty.size() == 1) {
+    for (Dictionary* d : dirty) (void)d->root();
+  } else {
+    pool->run_indexed(dirty.size(),
+                      [&dirty](std::size_t i) { (void)dirty[i]->root(); });
+  }
+  return dirty.size();
+}
+
+std::vector<std::pair<std::uint64_t, crypto::Digest20>>
+ShardedDictionary::shard_roots() const {
+  std::vector<std::pair<std::uint64_t, crypto::Digest20>> out;
+  out.reserve(shards_.size());
+  for (const auto& [k, shard] : shards_) out.emplace_back(k, shard.root());
+  return out;
 }
 
 }  // namespace ritm::dict

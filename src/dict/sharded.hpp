@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "dict/dictionary.hpp"
 
 namespace ritm::dict {
@@ -52,13 +54,35 @@ class ShardedDictionary {
 
   /// SHA-256 invocations across all shard rebuilds (lifetime). Sharding
   /// multiplies the incremental-rebuild win: each insert dirties only one
-  /// shard's tree, so the other shards' arenas are never touched — and a
-  /// future parallel rebuild can fan the dirty shards across cores.
+  /// shard's tree, so the other shards' arenas are never touched — and
+  /// rebuild_dirty() fans the dirty shards across cores.
   std::uint64_t total_hash_count() const;
+
+  /// Monotonically increasing version counter spanning all shards: bumped
+  /// on every accepted insert and every prune that removes a shard. Two
+  /// calls observing the same epoch observe identical shard roots.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Shards whose Merkle tree a mutation has outdated (each insert dirties
+  /// exactly one shard).
+  std::size_t dirty_shard_count() const;
+
+  /// Rebuilds every dirty shard's tree now instead of lazily at the next
+  /// proof. Dirty shards share no state, so with a pool their rebuilds run
+  /// in parallel — one task per shard — and the caller's thread joins before
+  /// returning. With `pool == nullptr` the rebuilds run serially on the
+  /// calling thread; both orders produce byte-identical roots (pinned by
+  /// test). Returns the number of shards rebuilt.
+  std::size_t rebuild_dirty(ThreadPool* pool = nullptr);
+
+  /// (shard index, root) for every live shard, in index order — the view a
+  /// determinism test compares across serial and parallel rebuilds.
+  std::vector<std::pair<std::uint64_t, crypto::Digest20>> shard_roots() const;
 
  private:
   UnixSeconds bucket_width_;
   std::map<std::uint64_t, Dictionary> shards_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace ritm::dict

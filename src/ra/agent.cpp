@@ -135,7 +135,10 @@ RevocationAgent::Action RevocationAgent::deliver_status(sim::Packet& pkt,
                                                         const Inspection& in,
                                                         UnixSeconds now) {
   FlowState& fs = flow.state;
-  auto status = store_->status_for(fs.ca, fs.serial);
+  // Warm path: the store's epoch-validated cache hands back the encoded
+  // status bytes; attaching is a header write plus memcpy. The proof is
+  // assembled at most once per (serial, replica version).
+  auto status = store_->status_bytes_for(fs.ca, fs.serial);
   if (!status) {
     ++stats_.unknown_ca;
     return Action::passed;
@@ -143,35 +146,34 @@ RevocationAgent::Action RevocationAgent::deliver_status(sim::Packet& pkt,
 
   const bool refreshing = fs.stage == Stage::established;
 
-  if (in.existing_status &&
-      in.existing_status->signed_root.ca == status->signed_root.ca) {
+  if (in.existing_status && in.existing_status->signed_root.ca == fs.ca) {
     // Multiple-RA rule (§VIII): add only if missing; replace only if our
-    // dictionary view is more recent.
+    // dictionary view is more recent. The cached entry carries (n, t) so
+    // this comparison needs no decode.
     const auto& theirs = in.existing_status->signed_root;
-    const auto& ours = status->signed_root;
     const bool ours_fresher =
-        ours.n > theirs.n ||
-        (ours.n == theirs.n && ours.timestamp > theirs.timestamp);
+        status->n > theirs.n ||
+        (status->n == theirs.n && status->timestamp > theirs.timestamp);
     if (!ours_fresher) {
       ++stats_.statuses_deferred;
       // Opportunity for consistency checking: compare the upstream RA's
       // signed root against ours (§VIII "Multiple RAs").
       return Action::passed;
     }
-    replace_status(pkt, *status);
+    replace_status_bytes(pkt, ByteSpan(*status->bytes));
     fs.last_status = now;
     ++stats_.statuses_replaced;
     return Action::status_replaced;
   }
 
-  attach_status(pkt, *status);
+  attach_status_bytes(pkt, ByteSpan(*status->bytes));
   // Chain-proof mode (§VIII): one status per remaining chain certificate
   // whose issuer we replicate. The overhead stays small because proofs are
   // logarithmic and chains are short.
   if (config_.chain_proofs) {
     for (const auto& [ca, serial] : fs.intermediates) {
-      if (auto extra = store_->status_for(ca, serial)) {
-        attach_status(pkt, *extra);
+      if (auto extra = store_->status_bytes_for(ca, serial)) {
+        attach_status_bytes(pkt, ByteSpan(*extra->bytes));
       }
     }
   }

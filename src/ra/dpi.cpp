@@ -93,18 +93,37 @@ void attach_status(sim::Packet& pkt, const dict::RevocationStatus& status) {
   }
 }
 
-void replace_status(sim::Packet& pkt, const dict::RevocationStatus& status) {
+void attach_status_bytes(sim::Packet& pkt, ByteSpan encoded) {
+  pkt.payload.reserve(pkt.payload.size() + 5 + encoded.size());
+  tls::encode_record_header_into(tls::ContentType::ritm_status,
+                                 encoded.size(), pkt.payload);
+  append(pkt.payload, encoded);
+}
+
+namespace {
+/// Drops every ritm_status record from the payload (shared by the
+/// replace_status variants).
+void remove_status_records(sim::Packet& pkt) {
   auto records = tls::decode_records(ByteSpan(pkt.payload));
-  if (records) {
-    Bytes rebuilt;
-    rebuilt.reserve(pkt.payload.size());
-    for (const auto& rec : *records) {
-      if (rec.type == tls::ContentType::ritm_status) continue;
-      tls::encode_record_into(rec, rebuilt);
-    }
-    pkt.payload = std::move(rebuilt);
+  if (!records) return;
+  Bytes rebuilt;
+  rebuilt.reserve(pkt.payload.size());
+  for (const auto& rec : *records) {
+    if (rec.type == tls::ContentType::ritm_status) continue;
+    tls::encode_record_into(rec, rebuilt);
   }
+  pkt.payload = std::move(rebuilt);
+}
+}  // namespace
+
+void replace_status(sim::Packet& pkt, const dict::RevocationStatus& status) {
+  remove_status_records(pkt);
   attach_status(pkt, status);
+}
+
+void replace_status_bytes(sim::Packet& pkt, ByteSpan encoded) {
+  remove_status_records(pkt);
+  attach_status_bytes(pkt, encoded);
 }
 
 bool confirm_ritm(sim::Packet& pkt) {

@@ -50,6 +50,7 @@ bool DictionaryStore::accept_freshness(CaState& state,
     if (p < state.freshness_period) continue;
     if (crypto::HashChain::verify(statement, p - state.freshness_period,
                                   state.freshness)) {
+      if (state.freshness != statement) ++state.freshness_seq;
       state.freshness = statement;
       state.freshness_period = p;
       return true;
@@ -85,6 +86,7 @@ ApplyResult DictionaryStore::apply_issuance(
   state->freshness = msg.signed_root.freshness_anchor;
   state->freshness_period = 0;
   state->desynchronized = false;
+  ++state->freshness_seq;  // served material changed even if n did not
   (void)now;
   return ApplyResult::ok;
 }
@@ -122,6 +124,7 @@ ApplyResult DictionaryStore::apply_sync(const dict::SyncResponse& msg,
   state->root = msg.signed_root;
   state->have_root = true;
   state->desynchronized = false;
+  ++state->freshness_seq;
   if (!accept_freshness(*state, msg.freshness, now)) {
     // Root applied but statement stale: keep the anchor as freshness.
     state->freshness = msg.signed_root.freshness_anchor;
@@ -130,15 +133,65 @@ ApplyResult DictionaryStore::apply_sync(const dict::SyncResponse& msg,
   return ApplyResult::ok;
 }
 
+dict::RevocationStatus DictionaryStore::assemble_status(
+    const CaState& state, const cert::SerialNumber& serial) {
+  dict::RevocationStatus status;
+  status.proof = state.dict.prove(serial);
+  status.signed_root = state.root;
+  status.freshness = state.freshness;
+  return status;
+}
+
 std::optional<dict::RevocationStatus> DictionaryStore::status_for(
     const cert::CaId& ca, const cert::SerialNumber& serial) const {
   const CaState* state = find(ca);
   if (state == nullptr || !state->have_root) return std::nullopt;
-  dict::RevocationStatus status;
-  status.proof = state->dict.prove(serial);
-  status.signed_root = state->root;
-  status.freshness = state->freshness;
-  return status;
+  return assemble_status(*state, serial);
+}
+
+std::optional<DictionaryStore::CachedStatus> DictionaryStore::status_bytes_for(
+    const cert::CaId& ca, const cert::SerialNumber& serial) const {
+  const CaState* state = find(ca);
+  if (state == nullptr || !state->have_root) return std::nullopt;
+
+  // Validate the cache against the replica version; any root or freshness
+  // transition since the last lookup drops the CA's cache wholesale. The
+  // epochs advance on every accepted mutation (including rollbacks), so a
+  // status proven against an old root can never survive into a new one.
+  const std::uint64_t epoch = state->dict.epoch();
+  if (state->cache_epoch != epoch ||
+      state->cache_freshness_seq != state->freshness_seq) {
+    if (!state->status_cache.empty()) {
+      state->status_cache.clear();
+      ++cache_stats_.invalidations;
+    }
+    state->cache_epoch = epoch;
+    state->cache_freshness_seq = state->freshness_seq;
+  }
+
+  const std::string_view key(
+      reinterpret_cast<const char*>(serial.value.data()),
+      serial.value.size());
+  auto it = state->status_cache.find(key);
+  if (it == state->status_cache.end()) {
+    ++cache_stats_.misses;
+    if (state->status_cache.size() >= kStatusCacheCapacity) {
+      state->status_cache.clear();  // simple wholesale eviction
+      ++cache_stats_.evictions;
+    }
+    const dict::RevocationStatus status = assemble_status(*state, serial);
+    Bytes encoded;
+    encoded.reserve(status.wire_size());
+    status.encode_into(encoded);
+    it = state->status_cache.emplace(std::string(key), std::move(encoded))
+             .first;
+  } else {
+    ++cache_stats_.hits;
+  }
+  // Note: rehashing on insert moves buckets, not elements — the Bytes the
+  // returned pointer refers to stays put until the cache is invalidated.
+  return CachedStatus{&it->second, state->root.n, state->root.timestamp,
+                      epoch};
 }
 
 std::uint64_t DictionaryStore::have_n(const cert::CaId& ca) const {
@@ -179,7 +232,14 @@ std::size_t DictionaryStore::storage_bytes() const {
 
 std::size_t DictionaryStore::memory_bytes() const {
   std::size_t total = 0;
-  for (const auto& [id, state] : cas_) total += state.dict.memory_bytes();
+  for (const auto& [id, state] : cas_) {
+    total += state.dict.memory_bytes();
+    // The warm status cache can dominate a serving RA's footprint; count
+    // it (keys, encoded statuses, and a node-pointer estimate per entry).
+    for (const auto& [serial, bytes] : state.status_cache) {
+      total += serial.capacity() + bytes.capacity() + 4 * sizeof(void*);
+    }
+  }
   return total;
 }
 

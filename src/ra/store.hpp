@@ -3,12 +3,22 @@
 // statements, and sync responses. All acceptance rules of §III live here:
 // signature checks, root-replay comparison, hash-chain freshness walks, and
 // gap detection via the revocation numbering.
+//
+// Serving path: handshake throughput is bounded by how fast the RA can
+// assemble a RevocationStatus per packet, so each CA carries a status cache
+// mapping serial → encoded status bytes. The cache is keyed by the replica's
+// version — the dictionary epoch plus a freshness sequence — and is dropped
+// wholesale the moment either advances, so a warm serial costs one hash
+// lookup and a memcpy instead of prove + encode, and a stale status can
+// never be served across a root change.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 #include "crypto/hash_chain.hpp"
 #include "dict/dictionary.hpp"
@@ -56,8 +66,44 @@ class DictionaryStore {
   ApplyResult apply_sync(const dict::SyncResponse& msg, UnixSeconds now);
 
   /// Builds the revocation status (Eq. (3)) the RA injects for a serial.
+  /// Always re-proves and re-assembles — the cold path; the packet pipeline
+  /// uses status_bytes_for().
   std::optional<dict::RevocationStatus> status_for(
       const cert::CaId& ca, const cert::SerialNumber& serial) const;
+
+  /// A cached, fully encoded revocation status plus the signed-root fields
+  /// the agent needs for the multi-RA freshness comparison without decoding.
+  struct CachedStatus {
+    /// Wire encoding of the RevocationStatus (what attach_status_bytes
+    /// copies into the packet). Valid until the next store mutation.
+    const Bytes* bytes = nullptr;
+    std::uint64_t n = 0;          // signed_root.n
+    UnixSeconds timestamp = 0;    // signed_root.timestamp
+    std::uint64_t epoch = 0;      // dictionary epoch the proof is against
+  };
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;          // lookups that had to prove + encode
+    std::uint64_t invalidations = 0;   // wholesale drops on version change
+    std::uint64_t evictions = 0;       // wholesale drops at capacity
+  };
+
+  /// Per-CA status-cache capacity. Serials are read off observed
+  /// certificates, i.e. attacker-controlled, so the cache is bounded with
+  /// wholesale eviction (same policy as the agent's session cache) — high-
+  /// cardinality traffic costs re-proving, never unbounded memory.
+  static constexpr std::size_t kStatusCacheCapacity = 1 << 16;
+
+  /// The warm serving path: returns the cached encoded status for
+  /// (ca, serial), proving and encoding only on the first lookup per replica
+  /// version. A root or freshness change invalidates the CA's whole cache
+  /// before the next lookup, so returned bytes always reflect the current
+  /// verified root. nullopt when the CA is unknown or has no root yet.
+  std::optional<CachedStatus> status_bytes_for(
+      const cert::CaId& ca, const cert::SerialNumber& serial) const;
+
+  const CacheStats& cache_stats() const noexcept { return cache_stats_; }
 
   /// Number of consecutive revocations held for `ca` (the sync cursor).
   std::uint64_t have_n(const cert::CaId& ca) const;
@@ -93,16 +139,41 @@ class DictionaryStore {
     crypto::Digest20 freshness{};     // latest verified statement
     std::uint64_t freshness_period = 0;
     bool desynchronized = false;
+    /// Bumped whenever the served material changes without the dictionary
+    /// necessarily growing: a new signed root (possibly with zero serials)
+    /// or an accepted freshness statement. Together with dict.epoch() this
+    /// versions everything a RevocationStatus contains.
+    std::uint64_t freshness_seq = 0;
+    // Serial → encoded RevocationStatus, valid for exactly one
+    // (dict epoch, freshness_seq) pair. Heterogeneous lookup keeps the warm
+    // path allocation-free (the serial bytes are viewed, not copied, until
+    // an insert). Mutable: serving is logically const.
+    struct TransparentHash {
+      using is_transparent = void;
+      std::size_t operator()(std::string_view s) const noexcept {
+        return std::hash<std::string_view>{}(s);
+      }
+    };
+    mutable std::unordered_map<std::string, Bytes, TransparentHash,
+                               std::equal_to<>>
+        status_cache;
+    mutable std::uint64_t cache_epoch = 0;
+    mutable std::uint64_t cache_freshness_seq = 0;
   };
 
   CaState* find(const cert::CaId& ca);
   const CaState* find(const cert::CaId& ca) const;
+  /// The single assembly point for Eq. (3): both the cold status_for path
+  /// and the cache's miss path build statuses here so they can never drift.
+  static dict::RevocationStatus assemble_status(
+      const CaState& state, const cert::SerialNumber& serial);
   /// Verifies a statement against `state`'s anchor for period ~now; stores
   /// it on success.
   bool accept_freshness(CaState& state, const crypto::Digest20& statement,
                         UnixSeconds now);
 
   std::map<cert::CaId, CaState> cas_;
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace ritm::ra

@@ -427,6 +427,88 @@ TEST(Insert, DuplicateSerialsNumberIdenticallyAcrossBatchPaths) {
   }
 }
 
+TEST(Insert, LargeBatchMergeMatchesElementWiseInsertion) {
+  // The large-batch path merges the pre-sorted index with the sorted batch
+  // in O(n + k); it must land on exactly the state element-wise insertion
+  // produces, for batches that interleave, prepend, and append.
+  std::vector<SerialNumber> base;
+  for (std::uint64_t i = 0; i < 300; ++i) base.push_back(sn(1000 + 10 * i));
+
+  std::vector<SerialNumber> batch;
+  for (std::uint64_t i = 0; i < 100; ++i) batch.push_back(sn(1005 + 30 * i));
+  for (std::uint64_t i = 0; i < 20; ++i) batch.push_back(sn(i));       // front
+  for (std::uint64_t i = 0; i < 20; ++i) batch.push_back(sn(9000 + i));  // back
+
+  Dictionary merged, reference;
+  merged.insert(base);
+  reference.insert(base);
+  (void)merged.root();
+  const auto added = merged.insert(batch);  // 140 items: large-batch merge
+  ASSERT_EQ(added.size(), 140u);
+  for (const auto& s : batch) reference.insert({s});  // small path, one by one
+
+  EXPECT_EQ(merged.size(), reference.size());
+  EXPECT_EQ(merged.root(), reference.root());
+  for (const auto& s : batch) {
+    EXPECT_EQ(merged.number_of(s), reference.number_of(s));
+    const auto proof = merged.prove(s);
+    EXPECT_EQ(proof.type, Proof::Type::presence);
+    EXPECT_TRUE(verify_proof(proof, s, merged.root(), merged.size()));
+  }
+}
+
+TEST(Insert, LargeBatchAppendKeepsPrefixUntouched) {
+  // An all-past-the-maximum large batch must dirty only the suffix: the
+  // merge never moves positions below the first new leaf, so the rebuild
+  // stays O(batch + log n) even through the large-batch path.
+  Dictionary d;
+  std::vector<SerialNumber> base;
+  for (std::uint64_t i = 0; i < 3000; ++i) base.push_back(sn(2 * i + 1));
+  d.insert(base);
+  (void)d.root();
+
+  std::vector<SerialNumber> delta;
+  for (std::uint64_t i = 0; i < 100; ++i) delta.push_back(sn(100000 + i));
+  d.insert(delta);  // > 64: large-batch merge path
+  (void)d.root();
+  const std::uint64_t incremental = d.last_rebuild_hash_count();
+  EXPECT_LE(incremental, 100 + 2 * 100 + 24);  // leaves + spine, not O(n)
+}
+
+TEST(Dictionary, EpochAdvancesOnlyOnAcceptedMutation) {
+  Dictionary d;
+  EXPECT_EQ(d.epoch(), 0u);
+  d.insert({sn(1), sn(2)});
+  EXPECT_EQ(d.epoch(), 1u);
+
+  // Reads never advance the version.
+  (void)d.root();
+  (void)d.prove(sn(1));
+  (void)d.contains(sn(2));
+  EXPECT_EQ(d.epoch(), 1u);
+
+  // A batch that adds nothing is not a mutation.
+  d.insert({sn(1)});
+  EXPECT_EQ(d.epoch(), 1u);
+
+  // Accepted update advances.
+  Dictionary ca;
+  ca.insert({sn(1), sn(2), sn(3)});
+  ASSERT_TRUE(d.update({sn(3)}, ca.root(), 3));
+  const auto after_update = d.epoch();
+  EXPECT_GT(after_update, 1u);
+
+  // Rejected update rolls content back but must NOT reuse an epoch: any
+  // cache keyed by (epoch) would otherwise serve bytes proven against the
+  // transient state.
+  crypto::Digest20 bogus = ca.root();
+  bogus[0] ^= 1;
+  const auto root_before = d.root();
+  EXPECT_FALSE(d.update({sn(9)}, bogus, 4));
+  EXPECT_EQ(d.root(), root_before);
+  EXPECT_GT(d.epoch(), after_update);
+}
+
 TEST(Insert, InvalidSerialAnywhereInBatchLeavesDictionaryUntouched) {
   Dictionary d;
   d.insert(serial_range(1, 10));

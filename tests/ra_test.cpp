@@ -127,6 +127,151 @@ TEST(Store, StatusForServesProofs) {
   EXPECT_FALSE(store.status_for("CA-??", SerialNumber::from_uint(5)));
 }
 
+// ------------------------------------------------------------- status cache
+
+TEST(StatusCache, WarmLookupServesIdenticalBytes) {
+  auto ca = make_ca(40);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(5)}, 1000), 1000);
+
+  const auto serial = SerialNumber::from_uint(5);
+  const auto cold = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_EQ(store.cache_stats().misses, 1u);
+  EXPECT_EQ(store.cache_stats().hits, 0u);
+
+  const auto warm = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(store.cache_stats().hits, 1u);
+  EXPECT_EQ(warm->bytes, cold->bytes);  // same cached entry, no re-encode
+
+  // The cached bytes are exactly what the cold path assembles.
+  const auto reference = store.status_for("CA-1", serial);
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(*warm->bytes, reference->encode());
+  EXPECT_EQ(warm->n, reference->signed_root.n);
+  EXPECT_EQ(warm->timestamp, reference->signed_root.timestamp);
+
+  EXPECT_FALSE(store.status_bytes_for("CA-??", serial).has_value());
+}
+
+TEST(StatusCache, RootChangeInvalidatesAndServesNewRoot) {
+  auto ca = make_ca(41);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+
+  const auto serial = SerialNumber::from_uint(33);
+  const auto before = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(before.has_value());
+  auto old_status = dict::RevocationStatus::decode(ByteSpan(*before->bytes));
+  ASSERT_TRUE(old_status.has_value());
+  EXPECT_EQ(old_status->proof.type, dict::Proof::Type::absence);
+
+  // Root change: the probed serial itself gets revoked.
+  store.apply_issuance(ca.revoke({serial}, 1010), 1010);
+  const auto invalidations = store.cache_stats().invalidations;
+
+  const auto after = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(store.cache_stats().invalidations, invalidations + 1);
+  EXPECT_GT(after->epoch, before->epoch);
+  auto fresh = dict::RevocationStatus::decode(ByteSpan(*after->bytes));
+  ASSERT_TRUE(fresh.has_value());
+  // No stale bytes: the served status reflects the new root and proves the
+  // revocation that just happened.
+  EXPECT_EQ(fresh->proof.type, dict::Proof::Type::presence);
+  EXPECT_EQ(fresh->signed_root.n, 2u);
+  EXPECT_EQ(fresh->signed_root.root, ca.signed_root().root);
+  EXPECT_TRUE(dict::verify_proof(fresh->proof, serial,
+                                 fresh->signed_root.root, 2));
+}
+
+TEST(StatusCache, FreshnessStatementInvalidates) {
+  auto ca = make_ca(42, /*delta=*/10);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+
+  const auto serial = SerialNumber::from_uint(2);
+  const auto before = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(before.has_value());
+
+  // A newer freshness statement changes the served status without touching
+  // the dictionary — the cache must not keep handing out the old proof of
+  // freshness.
+  ASSERT_EQ(store.apply_freshness({ca.id(), ca.freshness_at(1025)}, 1025),
+            ApplyResult::ok);
+  const auto after = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(after.has_value());
+  auto decoded = dict::RevocationStatus::decode(ByteSpan(*after->bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->freshness, ca.freshness_at(1025));
+}
+
+TEST(StatusCache, CapacityBoundedWithWholesaleEviction) {
+  // Serials come off observed certificates (attacker-controlled), so the
+  // cache must not grow without bound on high-cardinality traffic.
+  auto ca = make_ca(44);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+
+  const std::size_t cap = DictionaryStore::kStatusCacheCapacity;
+  for (std::size_t i = 0; i <= cap; ++i) {
+    ASSERT_TRUE(
+        store.status_bytes_for("CA-1", SerialNumber::from_uint(10 + i, 4)));
+  }
+  EXPECT_EQ(store.cache_stats().evictions, 1u);
+  EXPECT_LE(store.memory_bytes(),
+            store.storage_bytes() + cap * 2048);  // bounded, not monotone
+
+  // Post-eviction lookups still serve correct statuses.
+  const auto s = store.status_bytes_for("CA-1", SerialNumber::from_uint(1));
+  ASSERT_TRUE(s.has_value());
+  auto decoded = dict::RevocationStatus::decode(ByteSpan(*s->bytes));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->proof.type, dict::Proof::Type::presence);
+}
+
+TEST(StatusCache, CrossCaIsolation) {
+  Rng rng(43);
+  ca::CertificationAuthority::Config cfg1, cfg2;
+  cfg1.id = "CA-1";
+  cfg2.id = "CA-2";
+  ca::CertificationAuthority ca1(cfg1, rng, 1000), ca2(cfg2, rng, 1000);
+
+  DictionaryStore store;
+  store.register_ca(ca1.id(), ca1.public_key(), 10);
+  store.register_ca(ca2.id(), ca2.public_key(), 10);
+  const auto serial = SerialNumber::from_uint(7);
+  store.apply_issuance(ca1.revoke({serial}, 1000), 1000);  // revoked by CA-1
+  store.apply_issuance(ca2.revoke({SerialNumber::from_uint(8)}, 1000), 1000);
+
+  // The same serial must resolve per CA: present under CA-1, absent under
+  // CA-2 — the caches cannot bleed into each other.
+  const auto s1 = store.status_bytes_for("CA-1", serial);
+  const auto s2 = store.status_bytes_for("CA-2", serial);
+  ASSERT_TRUE(s1 && s2);
+  auto d1 = dict::RevocationStatus::decode(ByteSpan(*s1->bytes));
+  auto d2 = dict::RevocationStatus::decode(ByteSpan(*s2->bytes));
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_EQ(d1->proof.type, dict::Proof::Type::presence);
+  EXPECT_EQ(d2->proof.type, dict::Proof::Type::absence);
+  EXPECT_EQ(d1->signed_root.ca, "CA-1");
+  EXPECT_EQ(d2->signed_root.ca, "CA-2");
+
+  // Mutating CA-2 must not invalidate CA-1's cache: the next CA-1 lookup is
+  // still a hit.
+  store.apply_issuance(ca2.revoke({SerialNumber::from_uint(9)}, 1010), 1010);
+  const auto hits = store.cache_stats().hits;
+  const auto again = store.status_bytes_for("CA-1", serial);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(store.cache_stats().hits, hits + 1);
+  EXPECT_EQ(*again->bytes, *s1->bytes);
+}
+
 TEST(Store, CrossCheckConsistentRootIsSilent) {
   auto ca = make_ca(9);
   DictionaryStore store;
@@ -188,6 +333,37 @@ TEST_F(DpiTest, AttachAndStripStatus) {
   const auto in2 = inspect(ByteSpan(pkt.payload));
   EXPECT_FALSE(in2.existing_status.has_value());
   EXPECT_EQ(in2.kind, Inspection::Kind::app_data);
+}
+
+TEST_F(DpiTest, AttachStatusBytesMatchesStructPath) {
+  // The memcpy path must be wire-identical to encoding the struct.
+  dict::RevocationStatus status;
+  status.signed_root.ca = "CA-1";
+  status.signed_root.n = 3;
+
+  auto via_struct = tls::make_app_data(server_, client_, {9, 9});
+  auto via_bytes = via_struct;
+  attach_status(via_struct, status);
+  attach_status_bytes(via_bytes, ByteSpan(status.encode()));
+  EXPECT_EQ(via_struct.payload, via_bytes.payload);
+
+  auto stripped = strip_status(via_bytes);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0], status);
+}
+
+TEST_F(DpiTest, ReplaceStatusBytesKeepsOneCopy) {
+  auto pkt = tls::make_app_data(server_, client_, {1});
+  dict::RevocationStatus old_status, new_status;
+  old_status.signed_root.ca = "CA-1";
+  old_status.signed_root.n = 1;
+  new_status.signed_root.ca = "CA-1";
+  new_status.signed_root.n = 2;
+  attach_status(pkt, old_status);
+  replace_status_bytes(pkt, ByteSpan(new_status.encode()));
+  auto stripped = strip_status(pkt);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].signed_root.n, 2u);
 }
 
 TEST_F(DpiTest, ReplaceStatusKeepsOneCopy) {
@@ -263,6 +439,42 @@ TEST_F(AgentTest, FullHandshakeAttachesStatus) {
 
   auto fin = tls::make_server_finished(client_, server_);
   EXPECT_EQ(agent_.process(fin, 2000), RevocationAgent::Action::established);
+}
+
+TEST_F(AgentTest, RepeatedHandshakesServeFromStatusCache) {
+  // Same certificate across connections: the first handshake proves and
+  // encodes, every later one memcpys the cached bytes — and those bytes
+  // must still decode into a verifying status.
+  for (int i = 0; i < 3; ++i) {
+    const sim::Endpoint c{client_.ip, std::uint16_t(9100 + i)};
+    auto ch = tls::make_client_hello(c, server_, rng_, true);
+    agent_.process(ch, 2000);
+    auto flight = tls::make_server_flight(c, server_, rng_, {leaf_}, false);
+    EXPECT_EQ(agent_.process(flight, 2000),
+              RevocationAgent::Action::status_attached);
+    auto stripped = strip_status(flight);
+    ASSERT_EQ(stripped.size(), 1u);
+    EXPECT_TRUE(dict::verify_proof(stripped[0].proof, leaf_.serial,
+                                   stripped[0].signed_root.root,
+                                   stripped[0].signed_root.n));
+  }
+  EXPECT_EQ(store_.cache_stats().misses, 1u);
+  EXPECT_EQ(store_.cache_stats().hits, 2u);
+
+  // A root change mid-stream invalidates: the next handshake re-proves
+  // against the new root.
+  store_.apply_issuance(ca_.revoke({SerialNumber::from_uint(555)}, 2100),
+                        2100);
+  const sim::Endpoint c{client_.ip, std::uint16_t(9200)};
+  auto ch = tls::make_client_hello(c, server_, rng_, true);
+  agent_.process(ch, 2100);
+  auto flight = tls::make_server_flight(c, server_, rng_, {leaf_}, false);
+  agent_.process(flight, 2100);
+  auto stripped = strip_status(flight);
+  ASSERT_EQ(stripped.size(), 1u);
+  EXPECT_EQ(stripped[0].signed_root.n, 2u);  // the post-change root
+  EXPECT_EQ(store_.cache_stats().misses, 2u);
+  EXPECT_EQ(store_.cache_stats().invalidations, 1u);
 }
 
 TEST_F(AgentTest, NonRitmClientPassesThrough) {
