@@ -1,0 +1,46 @@
+#include "crypto/cpu_features.hpp"
+
+// gcc/clang x86-64 only (matching the toolchains CI exercises): <cpuid.h>,
+// __get_cpuid, and the xgetbv inline asm below are GNU constructs.
+#if defined(__x86_64__)
+#define RITM_CPUID_X86 1
+#include <cpuid.h>
+#endif
+
+namespace ritm::crypto {
+
+namespace {
+
+CpuFeatures probe() noexcept {
+  CpuFeatures f;
+#if defined(RITM_CPUID_X86) && !defined(RITM_FORCE_SCALAR)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.ssse3 = (ecx >> 9) & 1;
+    f.sse41 = (ecx >> 19) & 1;
+    const bool osxsave = (ecx >> 27) & 1;
+    const bool avx = (ecx >> 28) & 1;
+    // AVX2 additionally requires the OS to save YMM state (XCR0 bits 1|2).
+    bool ymm_enabled = false;
+    if (osxsave && avx) {
+      unsigned xcr0_lo, xcr0_hi;
+      __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+      ymm_enabled = (xcr0_lo & 0x6) == 0x6;
+    }
+    if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+      f.avx2 = ymm_enabled && ((ebx >> 5) & 1);
+      f.sha_ni = (ebx >> 29) & 1;
+    }
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+}  // namespace ritm::crypto

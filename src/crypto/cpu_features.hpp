@@ -1,0 +1,19 @@
+// Runtime CPU capability detection for the SHA-256 engine dispatch
+// (crypto/sha256_engine.hpp). One CPUID probe, cached for the process
+// lifetime; non-x86 builds (and -DRITM_FORCE_SCALAR=ON builds) report no
+// SIMD capabilities so the dispatcher falls back to the portable path.
+#pragma once
+
+namespace ritm::crypto {
+
+struct CpuFeatures {
+  bool sse41 = false;   // required by the SHA-NI round intrinsics
+  bool ssse3 = false;   // pshufb (byte-swap shuffles)
+  bool avx2 = false;    // 8-lane multi-buffer compressor
+  bool sha_ni = false;  // x86 SHA extensions (sha256rnds2 et al.)
+};
+
+/// Features of the CPU we are running on, probed once via CPUID.
+const CpuFeatures& cpu_features() noexcept;
+
+}  // namespace ritm::crypto

@@ -6,9 +6,11 @@
 // treap nodes, hash-chain links) is a short fixed-shape message, so hash20()
 // dispatches to a one-shot compression path for inputs that fit in one or
 // two blocks, skipping the incremental buffer/length machinery entirely.
-// hash20_batch() is the rebuild loop's entry point: a scalar loop today, and
-// the seam where a SIMD multi-buffer backend can slot in without touching
-// the dictionary code.
+// hash20_batch() is the rebuild loop's entry point: it feeds the runtime-
+// dispatched multi-lane engine (crypto/sha256_engine.hpp — scalar, 8-lane
+// AVX2 multi-buffer, or SHA-NI, picked by CPUID), as do the one-shot and
+// streaming compression paths. Every backend is bit-identical SHA-256, so
+// dictionary roots never depend on the engine.
 #pragma once
 
 #include <array>

@@ -1,0 +1,98 @@
+// Runtime-dispatched SHA-256 engine (the "multi-lane" backend layer behind
+// crypto/sha256.hpp).
+//
+// Three backends implement the same two entry points — a single-block
+// compression function and a multi-buffer batch hasher:
+//
+//   scalar  portable C++ (FIPS 180-4 reference rounds); always available
+//   avx2    8-lane interleaved multi-buffer compressor: eight independent
+//           short messages share one round sequence in YMM registers
+//   sha-ni  x86 SHA extensions: hardware sha256rnds2/msg1/msg2 rounds for
+//           the one-shot paths, two-message interleave for batches
+//
+// The active engine is picked once at first use from CPUID
+// (crypto/cpu_features.hpp): SHA-NI > AVX2 > scalar, overridable with the
+// RITM_SHA256_BACKEND environment variable (scalar|avx2|shani) and
+// removable at build time with -DRITM_FORCE_SCALAR=ON. Every backend
+// computes bit-identical SHA-256, so dictionary roots never depend on which
+// engine ran — tests/crypto_test.cpp cross-checks backends on randomized
+// batches and tests/dict_test.cpp pins golden Merkle roots per backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+// SIMD backends are compiled only for gcc/clang on x86-64 (__x86_64__ is a
+// GNU-style macro; the backends use GNU per-file ISA flags and intrinsics)
+// and only unless the build forces the portable path (RITM_FORCE_SCALAR).
+#if defined(__x86_64__) && !defined(RITM_FORCE_SCALAR)
+#define RITM_SHA256_X86_SIMD 1
+#else
+#define RITM_SHA256_X86_SIMD 0
+#endif
+
+namespace ritm::crypto {
+
+enum class Sha256Backend : std::uint8_t { scalar = 0, avx2 = 1, shani = 2 };
+
+/// One backend: a compression function for the streaming/one-shot paths and
+/// a multi-buffer batch hasher for the dictionary rebuild loop.
+struct Sha256Engine {
+  Sha256Backend kind;
+  const char* name;
+  /// FIPS 180-4 compression of one 64-byte block into `state`.
+  void (*compress)(std::uint32_t state[8], const std::uint8_t* block);
+  /// Hashes `n` independent messages into `out` (20-byte truncation each).
+  void (*batch20)(const ByteSpan* inputs, std::size_t n, Digest20* out);
+};
+
+/// The active engine. Detected once (CPUID + RITM_SHA256_BACKEND override);
+/// later sha256_select_backend calls can replace it.
+const Sha256Engine& sha256_engine() noexcept;
+
+/// Backends usable on this machine/build, scalar always first.
+std::vector<Sha256Backend> sha256_available_backends();
+
+/// Forces the active engine (test/bench hook). Returns false — leaving the
+/// active engine unchanged — if the backend is not compiled in or the CPU
+/// lacks it. Not meant for concurrent use with in-flight hashing, though any
+/// interleaving still yields correct digests (backends are bit-identical).
+bool sha256_select_backend(Sha256Backend b) noexcept;
+
+/// Drops a forced selection and re-runs auto-detection.
+void sha256_reset_backend() noexcept;
+
+const char* sha256_backend_name(Sha256Backend b) noexcept;
+
+namespace detail {
+
+// Shared tables + portable reference, defined in sha256.cpp.
+extern const std::uint32_t kSha256InitState[8];
+extern const std::uint32_t kSha256RoundK[64];
+void sha256_compress_scalar(std::uint32_t state[8],
+                            const std::uint8_t* block) noexcept;
+void hash20_batch_scalar(const ByteSpan* inputs, std::size_t n,
+                         Digest20* out) noexcept;
+
+/// Pads a short message (len <= kSha256ShortMax) into `block` per FIPS
+/// 180-4; returns the padded size (64 or 128).
+std::size_t sha256_pad_short(const std::uint8_t* data, std::size_t len,
+                             std::uint8_t block[128]) noexcept;
+
+#if RITM_SHA256_X86_SIMD
+// Defined in sha256_mb_avx2.cpp / sha256_shani.cpp (per-file -mavx2 /
+// -msha -msse4.1 compile flags; see CMakeLists.txt).
+void hash20_batch_avx2(const ByteSpan* inputs, std::size_t n,
+                       Digest20* out) noexcept;
+void sha256_compress_shani(std::uint32_t state[8],
+                           const std::uint8_t* block) noexcept;
+void hash20_batch_shani(const ByteSpan* inputs, std::size_t n,
+                        Digest20* out) noexcept;
+#endif
+
+}  // namespace detail
+
+}  // namespace ritm::crypto

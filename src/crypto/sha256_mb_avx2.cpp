@@ -1,0 +1,240 @@
+// 8-lane multi-buffer SHA-256 (AVX2): eight independent messages advance
+// through one interleaved round sequence, each YMM register holding one
+// working variable (or message-schedule word) across all eight lanes. The
+// dictionary rebuild hands hash20_batch 64-leaf chunks of short messages, so
+// lanes group naturally by padded block count (one block for len <= 55, two
+// for len <= 119); messages longer than the short-path limit fall back to
+// the one-shot scalar/streaming path.
+//
+// Compiled with -mavx2 for this file only (see CMakeLists.txt); runtime
+// CPUID dispatch in sha256.cpp guarantees this code never executes on a CPU
+// without AVX2.
+#include "crypto/sha256_engine.hpp"
+
+#if RITM_SHA256_X86_SIMD
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace ritm::crypto::detail {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+inline __m256i rotr32(__m256i x, int n) noexcept {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+inline __m256i big_sigma0(__m256i x) noexcept {
+  return _mm256_xor_si256(_mm256_xor_si256(rotr32(x, 2), rotr32(x, 13)),
+                          rotr32(x, 22));
+}
+
+inline __m256i big_sigma1(__m256i x) noexcept {
+  return _mm256_xor_si256(_mm256_xor_si256(rotr32(x, 6), rotr32(x, 11)),
+                          rotr32(x, 25));
+}
+
+inline __m256i small_sigma0(__m256i x) noexcept {
+  return _mm256_xor_si256(_mm256_xor_si256(rotr32(x, 7), rotr32(x, 18)),
+                          _mm256_srli_epi32(x, 3));
+}
+
+inline __m256i small_sigma1(__m256i x) noexcept {
+  return _mm256_xor_si256(_mm256_xor_si256(rotr32(x, 17), rotr32(x, 19)),
+                          _mm256_srli_epi32(x, 10));
+}
+
+inline __m256i ch(__m256i e, __m256i f, __m256i g) noexcept {
+  // (e & f) ^ (~e & g)
+  return _mm256_xor_si256(_mm256_and_si256(e, f),
+                          _mm256_andnot_si256(e, g));
+}
+
+inline __m256i maj(__m256i a, __m256i b, __m256i c) noexcept {
+  return _mm256_xor_si256(
+      _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+      _mm256_and_si256(b, c));
+}
+
+/// Loads words w..w+7 of the current block for all 8 lanes: an 8x8 32-bit
+/// transpose of one 32-byte row per lane, then a byte swap to host order.
+inline void load_transposed(const std::uint8_t* const lanes[kLanes],
+                            std::size_t offset, __m256i w[8]) noexcept {
+  const __m256i bswap = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+  __m256i r0 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[0] + offset));
+  __m256i r1 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[1] + offset));
+  __m256i r2 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[2] + offset));
+  __m256i r3 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[3] + offset));
+  __m256i r4 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[4] + offset));
+  __m256i r5 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[5] + offset));
+  __m256i r6 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[6] + offset));
+  __m256i r7 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(lanes[7] + offset));
+
+  const __m256i t0 = _mm256_unpacklo_epi32(r0, r1);
+  const __m256i t1 = _mm256_unpackhi_epi32(r0, r1);
+  const __m256i t2 = _mm256_unpacklo_epi32(r2, r3);
+  const __m256i t3 = _mm256_unpackhi_epi32(r2, r3);
+  const __m256i t4 = _mm256_unpacklo_epi32(r4, r5);
+  const __m256i t5 = _mm256_unpackhi_epi32(r4, r5);
+  const __m256i t6 = _mm256_unpacklo_epi32(r6, r7);
+  const __m256i t7 = _mm256_unpackhi_epi32(r6, r7);
+
+  const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+  const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+  const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+  const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+  const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+  const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+  const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+  const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+
+  w[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+  w[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+  w[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+  w[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+  w[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+  w[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+  w[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+  w[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+  for (int i = 0; i < 8; ++i) w[i] = _mm256_shuffle_epi8(w[i], bswap);
+}
+
+/// Compresses `blocks` 64-byte blocks per lane (lane l's data contiguous at
+/// lanes[l]) into the 8-lane state vectors st[0..7] (= a..h across lanes).
+void compress8(__m256i st[8], const std::uint8_t* const lanes[kLanes],
+               std::size_t blocks) noexcept {
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    __m256i w[16];
+    load_transposed(lanes, blk * 64, w);
+    load_transposed(lanes, blk * 64 + 32, w + 8);
+
+    __m256i a = st[0], b = st[1], c = st[2], d = st[3];
+    __m256i e = st[4], f = st[5], g = st[6], h = st[7];
+    for (int i = 0; i < 64; ++i) {
+      __m256i wi;
+      if (i < 16) {
+        wi = w[i];
+      } else {
+        wi = _mm256_add_epi32(
+            _mm256_add_epi32(w[i & 15], small_sigma0(w[(i - 15) & 15])),
+            _mm256_add_epi32(w[(i - 7) & 15], small_sigma1(w[(i - 2) & 15])));
+        w[i & 15] = wi;
+      }
+      const __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(h, big_sigma1(e)), ch(e, f, g)),
+          _mm256_add_epi32(_mm256_set1_epi32(
+                               static_cast<int>(kSha256RoundK[i])),
+                           wi));
+      const __m256i t2 = _mm256_add_epi32(big_sigma0(a), maj(a, b, c));
+      h = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = _mm256_add_epi32(t1, t2);
+    }
+    st[0] = _mm256_add_epi32(st[0], a);
+    st[1] = _mm256_add_epi32(st[1], b);
+    st[2] = _mm256_add_epi32(st[2], c);
+    st[3] = _mm256_add_epi32(st[3], d);
+    st[4] = _mm256_add_epi32(st[4], e);
+    st[5] = _mm256_add_epi32(st[5], f);
+    st[6] = _mm256_add_epi32(st[6], g);
+    st[7] = _mm256_add_epi32(st[7], h);
+  }
+}
+
+/// Pads and compresses up to 8 same-block-count short messages at once and
+/// writes their 20-byte truncated digests. Unused lanes alias lane 0's
+/// padded block; their outputs are simply not stored.
+void run_group(const ByteSpan* inputs, const std::size_t* idx, std::size_t m,
+               std::size_t blocks, Digest20* out) noexcept {
+  alignas(32) std::uint8_t padded[kLanes][128];
+  const std::uint8_t* lanes[kLanes];
+  for (std::size_t l = 0; l < m; ++l) {
+    const ByteSpan& in = inputs[idx[l]];
+    sha256_pad_short(in.data(), in.size(), padded[l]);
+    lanes[l] = padded[l];
+  }
+  for (std::size_t l = m; l < kLanes; ++l) lanes[l] = padded[0];
+
+  __m256i st[8];
+  for (int i = 0; i < 8; ++i) {
+    st[i] = _mm256_set1_epi32(static_cast<int>(kSha256InitState[i]));
+  }
+  compress8(st, lanes, blocks);
+
+  // st[i] holds state word i for all lanes; peel lane l's first five words.
+  alignas(32) std::uint32_t words[5][kLanes];
+  for (int i = 0; i < 5; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words[i]), st[i]);
+  }
+  for (std::size_t l = 0; l < m; ++l) {
+    std::uint8_t* o = out[idx[l]].data();
+    for (int i = 0; i < 5; ++i) {
+      const std::uint32_t v = words[i][l];
+      o[4 * i] = static_cast<std::uint8_t>(v >> 24);
+      o[4 * i + 1] = static_cast<std::uint8_t>(v >> 16);
+      o[4 * i + 2] = static_cast<std::uint8_t>(v >> 8);
+      o[4 * i + 3] = static_cast<std::uint8_t>(v);
+    }
+  }
+}
+
+}  // namespace
+
+void hash20_batch_avx2(const ByteSpan* inputs, std::size_t n,
+                       Digest20* out) noexcept {
+  // Lanes in one compress must share a block count, so bucket indices by
+  // padded length (1 block for len <= 55, 2 for len <= 119) and flush each
+  // bucket as it fills. A lone message gains nothing from an 8-lane pass.
+  std::size_t one_blk[kLanes], two_blk[kLanes];
+  std::size_t n1 = 0, n2 = 0;
+  const auto flush = [&](const std::size_t* idx, std::size_t m,
+                         std::size_t blocks) {
+    if (m == 1) {
+      out[idx[0]] = hash20(inputs[idx[0]]);
+    } else if (m > 1) {
+      run_group(inputs, idx, m, blocks, out);
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = inputs[i].size();
+    if (len < 56) {
+      one_blk[n1++] = i;
+      if (n1 == kLanes) {
+        run_group(inputs, one_blk, kLanes, 1, out);
+        n1 = 0;
+      }
+    } else if (len <= kSha256ShortMax) {
+      two_blk[n2++] = i;
+      if (n2 == kLanes) {
+        run_group(inputs, two_blk, kLanes, 2, out);
+        n2 = 0;
+      }
+    } else {
+      out[i] = hash20(inputs[i]);  // long message: streaming fallback
+    }
+  }
+  flush(one_blk, n1, 1);
+  flush(two_blk, n2, 2);
+}
+
+}  // namespace ritm::crypto::detail
+
+#endif  // RITM_SHA256_X86_SIMD

@@ -1,0 +1,204 @@
+// SHA-256 via the x86 SHA extensions (sha256rnds2 / sha256msg1 /
+// sha256msg2). Two entry points:
+//
+//   sha256_compress_shani   one block — wired into the streaming class and
+//                           the one-shot single/double-block fast paths
+//   hash20_batch_shani      the multi-buffer seam: two independent messages
+//                           interleave through one round sequence so the
+//                           ~6-cycle sha256rnds2 latency of one chain hides
+//                           behind the other's rounds
+//
+// State register layout (ABEF/CDGH feedback form) and the entry/exit
+// shuffles follow Intel's reference flow for the SHA extensions.
+//
+// Compiled with -msha -msse4.1 for this file only (see CMakeLists.txt);
+// runtime CPUID dispatch in sha256.cpp keeps it off unsupported CPUs.
+#include "crypto/sha256_engine.hpp"
+
+#if RITM_SHA256_X86_SIMD
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace ritm::crypto::detail {
+
+namespace {
+
+inline __m128i bswap_mask() noexcept {
+  return _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+}
+
+inline __m128i load_k(int group) noexcept {
+  return _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(&kSha256RoundK[4 * group]));
+}
+
+/// digest order (a..d / e..h) -> (ABEF, CDGH) round registers.
+inline void state_to_regs(const std::uint32_t state[8], __m128i& abef,
+                          __m128i& cdgh) noexcept {
+  __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  lo = _mm_shuffle_epi32(lo, 0xB1);  // b a d c
+  hi = _mm_shuffle_epi32(hi, 0x1B);  // h g f e
+  abef = _mm_alignr_epi8(lo, hi, 8);
+  cdgh = _mm_blend_epi16(hi, lo, 0xF0);
+}
+
+/// (ABEF, CDGH) round registers -> digest order.
+inline void regs_to_state(__m128i abef, __m128i cdgh,
+                          std::uint32_t state[8]) noexcept {
+  abef = _mm_shuffle_epi32(abef, 0x1B);  // f e b a
+  cdgh = _mm_shuffle_epi32(cdgh, 0xB1);  // d c h g
+  const __m128i lo = _mm_blend_epi16(abef, cdgh, 0xF0);  // d c b a
+  const __m128i hi = _mm_alignr_epi8(cdgh, abef, 8);     // h g f e
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), lo);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), hi);
+}
+
+/// 64 rounds over one block held as four message-word quads in m[4].
+/// m[j & 3] is recycled in place: before round group j (j >= 4) it still
+/// holds quad j-4 and is rewritten with quad j of the extended schedule.
+inline void rounds(__m128i& abef, __m128i& cdgh, __m128i m[4]) noexcept {
+  const __m128i abef_save = abef;
+  const __m128i cdgh_save = cdgh;
+  for (int j = 0; j < 16; ++j) {
+    if (j >= 4) {
+      const __m128i partial = _mm_sha256msg1_epu32(m[j & 3], m[(j + 1) & 3]);
+      const __m128i w_minus7 =
+          _mm_alignr_epi8(m[(j + 3) & 3], m[(j + 2) & 3], 4);
+      m[j & 3] = _mm_sha256msg2_epu32(_mm_add_epi32(partial, w_minus7),
+                                      m[(j + 3) & 3]);
+    }
+    __m128i msg = _mm_add_epi32(m[j & 3], load_k(j));
+    cdgh = _mm_sha256rnds2_epu32(cdgh, abef, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    abef = _mm_sha256rnds2_epu32(abef, cdgh, msg);
+  }
+  abef = _mm_add_epi32(abef, abef_save);
+  cdgh = _mm_add_epi32(cdgh, cdgh_save);
+}
+
+inline void load_block(const std::uint8_t* block, __m128i m[4]) noexcept {
+  const __m128i mask = bswap_mask();
+  for (int i = 0; i < 4; ++i) {
+    m[i] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * i)),
+        mask);
+  }
+}
+
+/// Two independent messages with the same block count, rounds interleaved.
+void transform_x2(std::uint32_t state_a[8], const std::uint8_t* blocks_a,
+                  std::uint32_t state_b[8], const std::uint8_t* blocks_b,
+                  std::size_t nblocks) noexcept {
+  __m128i abef_a, cdgh_a, abef_b, cdgh_b;
+  state_to_regs(state_a, abef_a, cdgh_a);
+  state_to_regs(state_b, abef_b, cdgh_b);
+  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+    __m128i ma[4], mb[4];
+    load_block(blocks_a + 64 * blk, ma);
+    load_block(blocks_b + 64 * blk, mb);
+    const __m128i sa0 = abef_a, sa1 = cdgh_a, sb0 = abef_b, sb1 = cdgh_b;
+    for (int j = 0; j < 16; ++j) {
+      if (j >= 4) {
+        const __m128i pa = _mm_sha256msg1_epu32(ma[j & 3], ma[(j + 1) & 3]);
+        const __m128i pb = _mm_sha256msg1_epu32(mb[j & 3], mb[(j + 1) & 3]);
+        const __m128i wa =
+            _mm_alignr_epi8(ma[(j + 3) & 3], ma[(j + 2) & 3], 4);
+        const __m128i wb =
+            _mm_alignr_epi8(mb[(j + 3) & 3], mb[(j + 2) & 3], 4);
+        ma[j & 3] = _mm_sha256msg2_epu32(_mm_add_epi32(pa, wa),
+                                         ma[(j + 3) & 3]);
+        mb[j & 3] = _mm_sha256msg2_epu32(_mm_add_epi32(pb, wb),
+                                         mb[(j + 3) & 3]);
+      }
+      const __m128i k = load_k(j);
+      __m128i msg_a = _mm_add_epi32(ma[j & 3], k);
+      __m128i msg_b = _mm_add_epi32(mb[j & 3], k);
+      cdgh_a = _mm_sha256rnds2_epu32(cdgh_a, abef_a, msg_a);
+      cdgh_b = _mm_sha256rnds2_epu32(cdgh_b, abef_b, msg_b);
+      msg_a = _mm_shuffle_epi32(msg_a, 0x0E);
+      msg_b = _mm_shuffle_epi32(msg_b, 0x0E);
+      abef_a = _mm_sha256rnds2_epu32(abef_a, cdgh_a, msg_a);
+      abef_b = _mm_sha256rnds2_epu32(abef_b, cdgh_b, msg_b);
+    }
+    abef_a = _mm_add_epi32(abef_a, sa0);
+    cdgh_a = _mm_add_epi32(cdgh_a, sa1);
+    abef_b = _mm_add_epi32(abef_b, sb0);
+    cdgh_b = _mm_add_epi32(cdgh_b, sb1);
+  }
+  regs_to_state(abef_a, cdgh_a, state_a);
+  regs_to_state(abef_b, cdgh_b, state_b);
+}
+
+inline void store_digest20(const std::uint32_t state[8],
+                           Digest20& out) noexcept {
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+}
+
+/// One-shot short-message pair with a shared padded block count.
+void hash20_pair_x2(const ByteSpan& a, const ByteSpan& b, std::size_t blocks,
+                    Digest20& out_a, Digest20& out_b) noexcept {
+  std::uint8_t pad_a[128], pad_b[128];
+  sha256_pad_short(a.data(), a.size(), pad_a);
+  sha256_pad_short(b.data(), b.size(), pad_b);
+  std::uint32_t st_a[8], st_b[8];
+  std::memcpy(st_a, kSha256InitState, sizeof(st_a));
+  std::memcpy(st_b, kSha256InitState, sizeof(st_b));
+  transform_x2(st_a, pad_a, st_b, pad_b, blocks);
+  store_digest20(st_a, out_a);
+  store_digest20(st_b, out_b);
+}
+
+}  // namespace
+
+void sha256_compress_shani(std::uint32_t state[8],
+                           const std::uint8_t* block) noexcept {
+  __m128i abef, cdgh;
+  state_to_regs(state, abef, cdgh);
+  __m128i m[4];
+  load_block(block, m);
+  rounds(abef, cdgh, m);
+  regs_to_state(abef, cdgh, state);
+}
+
+void hash20_batch_shani(const ByteSpan* inputs, std::size_t n,
+                        Digest20* out) noexcept {
+  // Pair up messages with equal padded block counts; a leftover or a long
+  // message takes the one-shot path (which also lands on SHA-NI rounds via
+  // the dispatched compression function).
+  std::size_t one_blk[2], two_blk[2];
+  std::size_t n1 = 0, n2 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = inputs[i].size();
+    if (len < 56) {
+      one_blk[n1++] = i;
+      if (n1 == 2) {
+        hash20_pair_x2(inputs[one_blk[0]], inputs[one_blk[1]], 1,
+                       out[one_blk[0]], out[one_blk[1]]);
+        n1 = 0;
+      }
+    } else if (len <= kSha256ShortMax) {
+      two_blk[n2++] = i;
+      if (n2 == 2) {
+        hash20_pair_x2(inputs[two_blk[0]], inputs[two_blk[1]], 2,
+                       out[two_blk[0]], out[two_blk[1]]);
+        n2 = 0;
+      }
+    } else {
+      out[i] = hash20(inputs[i]);
+    }
+  }
+  if (n1 == 1) out[one_blk[0]] = hash20(inputs[one_blk[0]]);
+  if (n2 == 1) out[two_blk[0]] = hash20(inputs[two_blk[0]]);
+}
+
+}  // namespace ritm::crypto::detail
+
+#endif  // RITM_SHA256_X86_SIMD

@@ -201,6 +201,37 @@ void Dictionary::hash_leaves(std::size_t lo, std::size_t n) const {
   }
 }
 
+void Dictionary::hash_inner(std::size_t level, std::size_t lo,
+                            std::size_t next_size, std::size_t size) const {
+  // Dirty parents [lo, next_size) at `level + 1` from children at `level`
+  // (which holds `size` nodes), fed through the batch entry point in 64-node
+  // chunks so the ancestor spine keeps the multi-lane engine saturated, not
+  // just the leaves. Only the last parent can lack a right child (when
+  // `size` is odd); it is promoted unchanged, outside the batch.
+  std::size_t paired_end = next_size;
+  if (size % 2 != 0) --paired_end;
+
+  constexpr std::size_t kChunk = 64;
+  std::uint8_t enc[kChunk][kNodePreimageSize];
+  ByteSpan spans[kChunk];
+  for (std::size_t base = lo; base < paired_end; base += kChunk) {
+    const std::size_t m = std::min(kChunk, paired_end - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t i = base + j;
+      encode_node_preimage(node(level, 2 * i), node(level, 2 * i + 1), enc[j]);
+      spans[j] = ByteSpan(enc[j], kNodePreimageSize);
+    }
+    // Parents are contiguous in the arena, so the batch writes them in
+    // place — no copy-out staging.
+    crypto::hash20_batch(std::span<const ByteSpan>(spans, m),
+                         &node(level + 1, base));
+    last_rebuild_hashes_ += m;
+  }
+  if (paired_end < next_size && lo <= paired_end) {
+    node(level + 1, paired_end) = node(level, 2 * paired_end);
+  }
+}
+
 void Dictionary::rebuild() const {
   if (tree_valid_) return;
   const std::size_t n = sorted_.size();
@@ -230,15 +261,7 @@ void Dictionary::rebuild() const {
   while (size > 1) {
     const std::size_t next_size = (size + 1) / 2;
     const std::size_t next_lo = lo >> 1;
-    for (std::size_t i = next_lo; i < next_size; ++i) {
-      const crypto::Digest20& l = node(level, 2 * i);
-      if (2 * i + 1 < size) {
-        node(level + 1, i) = node_hash(l, node(level, 2 * i + 1));
-        ++last_rebuild_hashes_;
-      } else {
-        node(level + 1, i) = l;  // promote the odd node unchanged
-      }
-    }
+    hash_inner(level, next_lo, next_size, size);
     level_size_[level + 1] = next_size;
     size = next_size;
     lo = next_lo;

@@ -105,6 +105,10 @@ class Dictionary {
   void layout(std::size_t n) const;
   /// Hashes leaves [lo, n) into level 0 via the batch entry point.
   void hash_leaves(std::size_t lo, std::size_t n) const;
+  /// Hashes dirty parents [lo, next_size) at `level + 1` from the `size`
+  /// children at `level`, batched in 64-node chunks (multi-lane engine).
+  void hash_inner(std::size_t level, std::size_t lo, std::size_t next_size,
+                  std::size_t size) const;
   /// Records that sorted positions >= pos must be rehashed.
   void mark_dirty(std::size_t pos) noexcept;
 

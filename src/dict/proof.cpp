@@ -24,12 +24,18 @@ crypto::Digest20 leaf_hash(const Entry& e) noexcept {
   return crypto::hash20(ByteSpan(buf, encode_leaf_preimage(e, buf)));
 }
 
-crypto::Digest20 node_hash(const crypto::Digest20& left,
-                           const crypto::Digest20& right) noexcept {
-  std::uint8_t buf[41];
+void encode_node_preimage(const crypto::Digest20& left,
+                          const crypto::Digest20& right,
+                          std::uint8_t* buf) noexcept {
   buf[0] = 0x01;
   std::copy(left.begin(), left.end(), buf + 1);
   std::copy(right.begin(), right.end(), buf + 21);
+}
+
+crypto::Digest20 node_hash(const crypto::Digest20& left,
+                           const crypto::Digest20& right) noexcept {
+  std::uint8_t buf[kNodePreimageSize];
+  encode_node_preimage(left, right, buf);
   return crypto::hash20(ByteSpan(buf, sizeof(buf)));
 }
 

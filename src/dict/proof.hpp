@@ -44,6 +44,16 @@ std::size_t encode_leaf_preimage(const Entry& e, std::uint8_t* buf) noexcept;
 /// interior nodes to rule out second-preimage splices.
 crypto::Digest20 leaf_hash(const Entry& e) noexcept;
 
+/// Size of an interior-node preimage: tag + two 20-byte children.
+constexpr std::size_t kNodePreimageSize = 41;
+
+/// Writes the interior-node preimage 0x01 ‖ left ‖ right into `buf` (at
+/// least kNodePreimageSize bytes). Shared by node_hash and the dictionary's
+/// batched ancestor-spine rebuild so the two can never drift apart.
+void encode_node_preimage(const crypto::Digest20& left,
+                          const crypto::Digest20& right,
+                          std::uint8_t* buf) noexcept;
+
 /// Interior hash: H(0x01 ‖ left ‖ right).
 crypto::Digest20 node_hash(const crypto::Digest20& left,
                            const crypto::Digest20& right) noexcept;

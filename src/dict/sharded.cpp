@@ -1,5 +1,6 @@
 #include "dict/sharded.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ritm::dict {
@@ -106,6 +107,16 @@ std::size_t ShardedDictionary::rebuild_dirty(ThreadPool* pool) {
   if (pool == nullptr || dirty.size() == 1) {
     for (Dictionary* d : dirty) (void)d->root();
   } else {
+    // Largest shards first (LPT order): run_indexed hands out indices from
+    // a shared counter, so with a skewed shard-size distribution (one huge
+    // expiry bucket, many small ones) a worker that claims the big rebuild
+    // late extends the join long after the others drain the queue. Rebuild
+    // order cannot affect any root — shards share no state (pinned in
+    // concurrency_test.cpp).
+    std::sort(dirty.begin(), dirty.end(),
+              [](const Dictionary* a, const Dictionary* b) {
+                return a->size() > b->size();
+              });
     pool->run_indexed(dirty.size(),
                       [&dirty](std::size_t i) { (void)dirty[i]->root(); });
   }

@@ -21,9 +21,12 @@ EventId EventLoop::schedule_every(TimeMs start, TimeMs period,
   if (period <= 0) throw std::invalid_argument("EventLoop: period must be > 0");
   const EventId id = next_id_++;
   // The periodic series shares one id: each firing checks cancellation and
-  // re-arms itself.
+  // re-arms itself. Ownership lives in the queued closures — the stored
+  // function captures itself only weakly, otherwise the self-reference
+  // keeps the chain alive (and leaking) after the loop drains or dies.
   auto arm = std::make_shared<std::function<void(TimeMs)>>();
-  *arm = [this, id, period, fn = std::move(fn), arm](TimeMs at) {
+  std::weak_ptr<std::function<void(TimeMs)>> weak_arm = arm;
+  *arm = [this, id, period, fn = std::move(fn), weak_arm](TimeMs at) {
     if (cancelled_.count(id)) {
       cancelled_.erase(id);
       return;
@@ -33,8 +36,11 @@ EventId EventLoop::schedule_every(TimeMs start, TimeMs period,
       cancelled_.erase(id);
       return;
     }
+    // Always alive here: the queued closure that invoked us holds a strong
+    // reference for the duration of the call.
+    auto self = weak_arm.lock();
     queue_.push(Scheduled{at + period, next_seq_++, id,
-                          [arm, next = at + period] { (*arm)(next); }});
+                          [self, next = at + period] { (*self)(next); }});
   };
   queue_.push(Scheduled{start, next_seq_++, id, [arm, start] { (*arm)(start); }});
   return id;

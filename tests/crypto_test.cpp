@@ -3,14 +3,19 @@
 // robustness checks (bit-flip rejection).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "crypto/ed25519.hpp"
 #include "crypto/ed25519_fe.hpp"
 #include "crypto/ed25519_ge.hpp"
 #include "crypto/ed25519_sc.hpp"
+#include "crypto/cpu_features.hpp"
 #include "crypto/hash_chain.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256_engine.hpp"
 #include "crypto/sha512.hpp"
 
 namespace ritm::crypto {
@@ -133,6 +138,123 @@ TEST(Sha256, BatchMatchesScalar) {
                out.data());
   for (std::size_t i = 0; i < spans.size(); ++i) {
     EXPECT_EQ(out[i], hash20(spans[i])) << "lane " << i;
+  }
+}
+
+// ------------------------------------------------- SHA-256 engine dispatch
+
+/// Restores auto-detection when a test that forces backends exits (even via
+/// an assertion failure), so later tests never run under a leaked selection.
+struct BackendGuard {
+  ~BackendGuard() { sha256_reset_backend(); }
+};
+
+TEST(Sha256Engine, ScalarIsAlwaysAvailableAndListedFirst) {
+  const auto backends = sha256_available_backends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), Sha256Backend::scalar);
+  // The active engine must be one of the available ones.
+  const auto active = sha256_engine().kind;
+  EXPECT_TRUE(std::find(backends.begin(), backends.end(), active) !=
+              backends.end());
+}
+
+TEST(Sha256Engine, AvailabilityMatchesCpuFeatures) {
+  const auto backends = sha256_available_backends();
+  const auto listed = [&](Sha256Backend b) {
+    return std::find(backends.begin(), backends.end(), b) != backends.end();
+  };
+#if RITM_SHA256_X86_SIMD
+  EXPECT_EQ(listed(Sha256Backend::avx2),
+            cpu_features().avx2 && cpu_features().ssse3);
+  EXPECT_EQ(listed(Sha256Backend::shani),
+            cpu_features().sha_ni && cpu_features().sse41);
+#else
+  // RITM_FORCE_SCALAR (or a non-x86 host): the portable path must be the
+  // whole menu, and selecting a SIMD backend must fail without side effects.
+  EXPECT_EQ(backends.size(), 1u);
+  EXPECT_FALSE(listed(Sha256Backend::avx2));
+  EXPECT_FALSE(listed(Sha256Backend::shani));
+  const auto before = sha256_engine().kind;
+  EXPECT_FALSE(sha256_select_backend(Sha256Backend::avx2));
+  EXPECT_FALSE(sha256_select_backend(Sha256Backend::shani));
+  EXPECT_EQ(sha256_engine().kind, before);
+#endif
+}
+
+TEST(Sha256Engine, SelectActivatesEachAvailableBackend) {
+  BackendGuard guard;
+  for (const auto b : sha256_available_backends()) {
+    ASSERT_TRUE(sha256_select_backend(b)) << sha256_backend_name(b);
+    EXPECT_EQ(sha256_engine().kind, b);
+    EXPECT_STREQ(sha256_engine().name, sha256_backend_name(b));
+  }
+}
+
+TEST(Sha256Engine, FipsVectorsHoldUnderEveryBackend) {
+  // The one-shot fast paths route through the selected engine's compression
+  // function (scalar rounds or sha256rnds2), so the NIST vectors must hold
+  // under each backend, not just the default.
+  BackendGuard guard;
+  const Bytes abc = ritm::bytes_of("abc");
+  const Bytes two_block =
+      ritm::bytes_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  for (const auto b : sha256_available_backends()) {
+    ASSERT_TRUE(sha256_select_backend(b));
+    EXPECT_EQ(hex_of(Sha256::hash({})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+        << sha256_backend_name(b);
+    EXPECT_EQ(hex_of(Sha256::hash(span_of(abc))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad")
+        << sha256_backend_name(b);
+    EXPECT_EQ(hex_of(Sha256::hash(span_of(two_block))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1")
+        << sha256_backend_name(b);
+  }
+}
+
+TEST(Sha256Engine, CrossBackendRandomizedBatches) {
+  // The dispatch-layer contract: every backend hashes every batch to the
+  // exact bytes the scalar path produces. Batch sizes sweep 0-200 (the empty
+  // and single-input edge cases explicitly) and lengths straddle each
+  // grouping boundary the SIMD backends bucket by: 0, <=55 (one padded
+  // block), 56..119 (two blocks), and >119 (streaming fallback).
+  BackendGuard guard;
+  Rng rng(20260727);
+  std::vector<std::size_t> batch_sizes = {0, 1, 2, 7, 8, 9, 64, 200};
+  for (int i = 0; i < 6; ++i) batch_sizes.push_back(rng.uniform(201));
+
+  for (const std::size_t n : batch_sizes) {
+    std::vector<Bytes> msgs;
+    std::vector<ByteSpan> spans;
+    msgs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Cycle the boundary lengths through the batch, with random filler.
+      static constexpr std::size_t kEdges[] = {0,  1,  20, 41, 55,
+                                               56, 64, 119, 120, 300};
+      const std::size_t len = (i % 3 == 0)
+                                  ? kEdges[i / 3 % std::size(kEdges)]
+                                  : rng.uniform(160);
+      msgs.push_back(rng.bytes(len));
+    }
+    for (const auto& m : msgs) spans.push_back(span_of(m));
+    const auto batch = std::span<const ByteSpan>(spans.data(), spans.size());
+
+    ASSERT_TRUE(sha256_select_backend(Sha256Backend::scalar));
+    std::vector<Digest20> expect(n);
+    hash20_batch(batch, expect.data());
+
+    for (const auto b : sha256_available_backends()) {
+      if (b == Sha256Backend::scalar) continue;
+      ASSERT_TRUE(sha256_select_backend(b));
+      std::vector<Digest20> got(n);
+      hash20_batch(batch, got.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hex_of(got[i]), hex_of(expect[i]))
+            << sha256_backend_name(b) << " lane " << i << " of " << n
+            << " (len " << msgs[i].size() << ")";
+      }
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "crypto/sha256_engine.hpp"
 #include "dict/dictionary.hpp"
 #include "dict/messages.hpp"
 #include "dict/signed_root.hpp"
@@ -17,6 +18,13 @@ namespace {
 using cert::SerialNumber;
 
 SerialNumber sn(std::uint64_t v) { return SerialNumber::from_uint(v); }
+
+/// Restores SHA-256 backend auto-detection when a backend-sweeping test
+/// exits, even through a failed ASSERT, so a single divergence can't leak a
+/// forced backend into every later test in this binary.
+struct BackendGuard {
+  ~BackendGuard() { crypto::sha256_reset_backend(); }
+};
 
 std::vector<SerialNumber> serial_range(std::uint64_t first,
                                        std::uint64_t count) {
@@ -557,6 +565,71 @@ TEST(Dictionary, GoldenRootPinsWireFormat) {
   const auto& r = d.root();
   EXPECT_EQ(ritm::to_hex(ByteSpan(r.data(), r.size())),
             "21b8a53ff116c4b853c438796e3ab3b295a9caf4");
+}
+
+TEST(Dictionary, GoldenRootIdenticalAcrossSha256Backends) {
+  // Every SHA-256 engine backend must reproduce the pinned wire-format root
+  // byte for byte. A multi-lane backend that silently forked the tree format
+  // would pass same-backend consistency checks while breaking root
+  // comparison between heterogeneous CA/RA hosts — this is the test that
+  // rules that out.
+  BackendGuard guard;
+  for (const auto backend : crypto::sha256_available_backends()) {
+    ASSERT_TRUE(crypto::sha256_select_backend(backend));
+    Dictionary d;
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      std::vector<SerialNumber> batch;
+      for (std::uint64_t i = 0; i < 20; ++i) {
+        batch.push_back(SerialNumber::from_uint(1 + 3 * (b * 20 + i)));
+      }
+      d.insert(batch);
+    }
+    const auto& r = d.root();
+    EXPECT_EQ(ritm::to_hex(ByteSpan(r.data(), r.size())),
+              "21b8a53ff116c4b853c438796e3ab3b295a9caf4")
+        << "backend " << crypto::sha256_backend_name(backend);
+  }
+}
+
+TEST(DictionaryProperty, RandomizedRootsIdenticalAcrossSha256Backends) {
+  // Randomized growth (mixed batch sizes and serial widths, so leaf counts
+  // cross odd/even and chunk boundaries) replayed from scratch under every
+  // backend: the root trajectory and the proofs must match the scalar path
+  // exactly, whether the tree was built incrementally lane-saturated or not.
+  BackendGuard guard;
+  Rng rng(777);
+  std::vector<std::vector<SerialNumber>> batches;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<SerialNumber> batch;
+    const std::uint64_t batch_size = 1 + rng.uniform(120);
+    for (std::uint64_t i = 0; i < batch_size; ++i) {
+      batch.push_back(SerialNumber::from_uint(rng.uniform(1u << 20),
+                                              1 + rng.uniform(4)));
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  ASSERT_TRUE(crypto::sha256_select_backend(crypto::Sha256Backend::scalar));
+  std::vector<crypto::Digest20> expected_roots;
+  Dictionary scalar_dict;
+  for (const auto& batch : batches) {
+    scalar_dict.insert(batch);
+    expected_roots.push_back(scalar_dict.root());
+  }
+
+  for (const auto backend : crypto::sha256_available_backends()) {
+    if (backend == crypto::Sha256Backend::scalar) continue;
+    ASSERT_TRUE(crypto::sha256_select_backend(backend));
+    Dictionary d;
+    for (std::size_t round = 0; round < batches.size(); ++round) {
+      d.insert(batches[round]);
+      ASSERT_EQ(d.root(), expected_roots[round])
+          << crypto::sha256_backend_name(backend) << " round " << round;
+    }
+    const auto proof = d.prove(batches[0][0]);
+    EXPECT_TRUE(verify_proof(proof, batches[0][0], d.root(), d.size()))
+        << crypto::sha256_backend_name(backend);
+  }
 }
 
 TEST(DictionaryProperty, IncrementalFullRebuildAndReplayAgree) {

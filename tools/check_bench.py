@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against the committed baseline JSON.
+
+Compares a freshly produced BENCH_throughput.json against the baseline
+committed at the repo root and fails (exit 1) if any gated speedup dropped
+by more than the threshold (default 20%). Used by the `bench` CI job; run it
+locally the same way:
+
+    cmake -B build -S . && cmake --build build -j --target bench_throughput
+    (cd build && ./bench_throughput)
+    python3 tools/check_bench.py --baseline BENCH_throughput.json \
+        --current build/BENCH_throughput.json
+
+Only ratio metrics (speedups) are gated: absolute rates vary wildly across
+runner hardware, but "the incremental rebuild is N times faster than the
+seed cost model" and "the warm status cache is N times faster than proving"
+should hold anywhere, so a big drop means a real regression, not a slow VM.
+"""
+
+import argparse
+import json
+import sys
+
+# (dotted path, human label) — every entry must exist in both files.
+GATED = [
+    ("dict_update.speedup", "incremental dictionary rebuild speedup"),
+    ("status_cache.speedup", "warm status-cache speedup"),
+]
+
+# Reported for trend visibility but not gated: on scalar-only runners the
+# engine speedup is legitimately 1.0.
+INFORMATIONAL = [
+    ("sha256_engine.batch64_speedup", "SHA-256 batch engine speedup"),
+    ("sha256_engine.full_rebuild_speedup", "SHA-256 engine full-rebuild speedup"),
+]
+
+
+def lookup(doc, path):
+    node = doc
+    for key in path.split("."):
+        node = node[key]
+    return float(node)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_throughput.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly benchmarked BENCH_throughput.json")
+    parser.add_argument("--max-drop", type=float, default=0.20,
+                        help="allowed fractional drop per gated metric "
+                             "(default: 0.20)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failed = False
+    print(f"{'metric':<45} {'baseline':>10} {'current':>10} {'change':>8}")
+    for path, label in GATED:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        change = (cur - base) / base
+        ok = change >= -args.max_drop
+        flag = "ok" if ok else f"FAIL (> {args.max_drop:.0%} drop)"
+        print(f"{path:<45} {base:>10.2f} {cur:>10.2f} {change:>+7.1%}  {flag}")
+        if not ok:
+            failed = True
+
+    for path, label in INFORMATIONAL:
+        try:
+            base = lookup(baseline, path)
+            cur = lookup(current, path)
+        except KeyError:
+            continue
+        change = (cur - base) / base
+        print(f"{path:<45} {base:>10.2f} {cur:>10.2f} {change:>+7.1%}  info")
+
+    if failed:
+        print("\nbenchmark regression detected", file=sys.stderr)
+        return 1
+    print("\nall gated metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
