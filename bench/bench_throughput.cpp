@@ -11,10 +11,13 @@
 // counts) so successive PRs have a machine-readable perf trajectory.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include <string>
 
 #include "ca/authority.hpp"
+#include "ca/distribution.hpp"
+#include "cdn/cdn.hpp"
 #include "client/client.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -22,6 +25,7 @@
 #include "dict/dictionary.hpp"
 #include "dict/sharded.hpp"
 #include "ra/agent.hpp"
+#include "ra/updater.hpp"
 #include "tls/session.hpp"
 
 using namespace ritm;
@@ -478,6 +482,98 @@ int main() {
                 rebuild_speedup);
   }
 
+  // --- recovery: RA restart via snapshot + WAL tail vs a full feed replay
+  // of the issuance history, on a 100k-entry dictionary disseminated over
+  // ~3.1k feed periods (32 revocations each). The durable RA checkpoints
+  // 20 periods before the "crash", so restart = load snapshot (one O(n)
+  // rebuild, no per-entry re-hash, no per-issuance signature) + replay the
+  // 20-period log tail; the cold RA re-pulls, re-verifies, and re-applies
+  // every period.
+  constexpr std::uint64_t kRecEntries = 100'000;
+  constexpr std::size_t kRecBatch = 32;
+  constexpr std::uint64_t kRecTailPeriods = 20;
+  double recovery_replay_ms = 0, recovery_recover_ms = 0;
+  double recovery_speedup = 0;
+  std::uint64_t recovery_periods = 0;
+  {
+    Rng rrng(7);
+    auto rcdn = cdn::make_global_cdn(60'000);
+    ca::DistributionPoint dp(&rcdn, kDelta);
+    ca::CertificationAuthority::Config rcfg;
+    rcfg.id = "CA-R";
+    rcfg.delta = kDelta;
+    ca::CertificationAuthority rca(rcfg, rrng, 1000);
+    dp.register_ca(rca.id(), rca.public_key());
+
+    UnixSeconds now_s = 1000;
+    std::uint64_t next = 1;
+    const auto publish_batches = [&](std::uint64_t upto_serial) {
+      while (next <= upto_serial) {
+        std::vector<cert::SerialNumber> batch;
+        batch.reserve(kRecBatch);
+        for (std::size_t i = 0; i < kRecBatch && next <= upto_serial; ++i) {
+          batch.push_back(cert::SerialNumber::from_uint(next++ * 7, 5));
+        }
+        dp.submit(ca::FeedMessage::of(rca.revoke(std::move(batch), now_s)));
+        dp.publish(from_seconds(now_s));
+        now_s += kDelta;
+      }
+    };
+    publish_batches(kRecEntries - kRecTailPeriods * kRecBatch);
+
+    const std::string dir = "persist-bench";
+    std::filesystem::remove_all(dir);
+    const sim::GeoPoint here{40.7, -74.0};
+
+    // Durable RA: pull everything published so far, checkpoint, then pull
+    // the 20-period tail that only reaches the WAL.
+    ra::DictionaryStore dur_store;
+    dur_store.register_ca(rca.id(), rca.public_key(), kDelta);
+    ra::RaUpdater dur({.location = here}, &dur_store, &rcdn);
+    dur.enable_persistence(dir);
+    dur.pull_up_to(dp.next_period() - 1, from_seconds(now_s), rrng);
+    dur.checkpoint();
+    publish_batches(kRecEntries);
+    recovery_periods = dp.next_period();
+    dur.pull_up_to(recovery_periods - 1, from_seconds(now_s), rrng);
+    dur_store.wal()->sync();  // the crash point
+
+    // Restart A: snapshot + WAL tail.
+    ra::DictionaryStore rec_store;
+    rec_store.register_ca(rca.id(), rca.public_key(), kDelta);
+    ra::RaUpdater rec({.location = here}, &rec_store, &rcdn);
+    auto start = std::chrono::steady_clock::now();
+    const auto report = rec.recover(dir);
+    recovery_recover_ms = ms_of(std::chrono::steady_clock::now() - start);
+
+    // Restart B: cold RA replaying the full feed.
+    ra::DictionaryStore cold_store;
+    cold_store.register_ca(rca.id(), rca.public_key(), kDelta);
+    ra::RaUpdater cold({.location = here}, &cold_store, &rcdn);
+    start = std::chrono::steady_clock::now();
+    cold.pull_up_to(recovery_periods - 1, from_seconds(now_s), rrng);
+    recovery_replay_ms = ms_of(std::chrono::steady_clock::now() - start);
+    recovery_speedup = recovery_replay_ms / recovery_recover_ms;
+
+    const bool equal =
+        report.ok && rec_store.have_n(rca.id()) == kRecEntries &&
+        cold_store.have_n(rca.id()) == kRecEntries &&
+        rec_store.root_of(rca.id())->encode() ==
+            cold_store.root_of(rca.id())->encode() &&
+        rec.next_period() == recovery_periods;
+    std::printf("\n== recovery (n=%llu over %llu periods, %llu-period WAL "
+                "tail) ==\n",
+                (unsigned long long)kRecEntries,
+                (unsigned long long)recovery_periods,
+                (unsigned long long)kRecTailPeriods);
+    std::printf("full feed replay: %.1f ms; snapshot+WAL restart: %.1f ms "
+                "(%.1fx); states %s\n",
+                recovery_replay_ms, recovery_recover_ms, recovery_speedup,
+                equal ? "identical" : "DIVERGED!");
+    std::filesystem::remove_all(dir);
+    if (!equal) return 1;
+  }
+
   // Machine-readable trajectory for future PRs.
   if (std::FILE* f = std::fopen("BENCH_throughput.json", "w")) {
     std::fprintf(f,
@@ -524,6 +620,14 @@ int main() {
                  "    \"full_rebuild_scalar_ms\": %.2f,\n"
                  "    \"full_rebuild_ms\": %.2f,\n"
                  "    \"full_rebuild_speedup\": %.2f\n"
+                 "  },\n"
+                 "  \"recovery\": {\n"
+                 "    \"entries\": %llu,\n"
+                 "    \"feed_periods\": %llu,\n"
+                 "    \"wal_tail_periods\": %llu,\n"
+                 "    \"full_replay_ms\": %.1f,\n"
+                 "    \"snapshot_wal_ms\": %.1f,\n"
+                 "    \"speedup\": %.2f\n"
                  "  }\n"
                  "}\n",
                  non_tls_rate, handshake_rate, validation_rate,
@@ -539,7 +643,10 @@ int main() {
                  full.ns_per_entry, (unsigned long long)full.hashes, speedup,
                  engine_active, engine_backends_json.c_str(),
                  engine_batch_speedup, rebuild_scalar_ms, rebuild_engine_ms,
-                 rebuild_speedup);
+                 rebuild_speedup, (unsigned long long)kRecEntries,
+                 (unsigned long long)recovery_periods,
+                 (unsigned long long)kRecTailPeriods, recovery_replay_ms,
+                 recovery_recover_ms, recovery_speedup);
     std::fclose(f);
     std::printf("wrote BENCH_throughput.json\n");
   }
@@ -552,6 +659,10 @@ int main() {
     std::printf("WARNING: best SHA-256 backend only %.1fx faster than scalar "
                 "on 64-input batches (acceptance floor: 2x)\n",
                 engine_batch_speedup);
+  }
+  if (recovery_speedup < 10.0) {
+    std::printf("WARNING: snapshot+WAL restart only %.1fx faster than full "
+                "feed replay (acceptance floor: 10x)\n", recovery_speedup);
   }
   return 0;
 }

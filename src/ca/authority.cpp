@@ -116,6 +116,18 @@ Bytes CertificationAuthority::manifest() const {
   return body;
 }
 
+ColdStartObject CertificationAuthority::cold_start_object(
+    std::uint64_t upto_period, UnixSeconds now) const {
+  ColdStartObject obj;
+  obj.ca = config_.id;
+  obj.upto_period = upto_period;
+  obj.signed_root = root_;
+  obj.freshness = freshness_at(now);
+  ByteWriter w(obj.dict_snapshot);
+  dict_.snapshot_into(w);
+  return obj;
+}
+
 dict::RevocationIssuance MisbehavingCa::view_without(
     const cert::SerialNumber& hide, UnixSeconds now) const {
   // Rebuild an alternative history that omits `hide` but keeps n by

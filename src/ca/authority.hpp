@@ -77,6 +77,14 @@ class CertificationAuthority {
   /// CA's ∆ and dictionary size, signed with the CA key.
   Bytes manifest() const;
 
+  /// Builds the CDN cold-start object (§VIII, PR 4): the full dictionary
+  /// snapshot under the current signed root plus the freshness statement
+  /// for `now`, covering feed periods up to and including `upto_period`.
+  /// Submitted to the distribution point so a fresh RA bootstraps its
+  /// replica in one pull instead of replaying the issuance history.
+  ColdStartObject cold_start_object(std::uint64_t upto_period,
+                                    UnixSeconds now) const;
+
  private:
   friend class MisbehavingCa;
 

@@ -45,6 +45,21 @@ void DistributionPoint::publish(TimeMs now) {
   ++next_period_;
 }
 
+bool DistributionPoint::publish_cold_start(const ColdStartObject& obj,
+                                           TimeMs now) {
+  const auto key_it = keys_.find(obj.ca);
+  if (key_it == keys_.end() || obj.signed_root.ca != obj.ca ||
+      !obj.signed_root.verify(key_it->second)) {
+    ++rejected_;
+    return false;
+  }
+  // The snapshot itself is not replayed here — the RA checks its recomputed
+  // root against the signed root on restore, so a tampered snapshot can
+  // only fail the bootstrap, never install state.
+  cdn_->origin().put(cold_start_path(obj.ca), obj.encode(), now);
+  return true;
+}
+
 std::string DistributionPoint::root_path(const cert::CaId& ca) {
   return "roots/" + ca;
 }

@@ -35,6 +35,12 @@ class DistributionPoint {
   /// CDN path of the latest signed root of `ca` ("roots/<ca>").
   static std::string root_path(const cert::CaId& ca);
 
+  /// Verifies and publishes a CA's cold-start object (snapshot + signed
+  /// root + freshness) at cold_start_path(ca) — the one-GET bootstrap for a
+  /// fresh RA (§VIII, PR 4). Rejected (and counted) unless the CA is
+  /// registered and the embedded signed root verifies against its key.
+  bool publish_cold_start(const ColdStartObject& obj, TimeMs now);
+
   std::uint64_t rejected_submissions() const noexcept { return rejected_; }
 
  private:

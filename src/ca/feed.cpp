@@ -97,4 +97,42 @@ std::string feed_path(std::uint64_t period) {
   return buf;
 }
 
+// Wire format: var16 ca, u64 upto_period, var16 signed root, 20B freshness,
+// then the dictionary snapshot as the rest of the object (it carries its
+// own version byte and can exceed the u24 framing of feed messages).
+Bytes ColdStartObject::encode() const {
+  ByteWriter w;
+  w.var16(ByteSpan(bytes_of(ca)));
+  w.u64(upto_period);
+  w.var16(ByteSpan(signed_root.encode()));
+  w.raw(ByteSpan(freshness));
+  w.raw(ByteSpan(dict_snapshot));
+  return w.take();
+}
+
+std::optional<ColdStartObject> ColdStartObject::decode(ByteSpan data) {
+  ByteReader r{data};
+  ColdStartObject obj;
+  auto ca_bytes = r.try_var16();
+  if (!ca_bytes) return std::nullopt;
+  obj.ca.assign(ca_bytes->begin(), ca_bytes->end());
+  auto period = r.try_u64();
+  if (!period) return std::nullopt;
+  obj.upto_period = *period;
+  auto root_bytes = r.try_var16();
+  if (!root_bytes) return std::nullopt;
+  auto root = dict::SignedRoot::decode(ByteSpan(*root_bytes));
+  if (!root || root->ca != obj.ca) return std::nullopt;
+  obj.signed_root = std::move(*root);
+  auto freshness = r.try_raw(20);
+  if (!freshness) return std::nullopt;
+  std::copy(freshness->begin(), freshness->end(), obj.freshness.begin());
+  obj.dict_snapshot = r.raw(r.remaining());
+  return obj;
+}
+
+std::string cold_start_path(const cert::CaId& ca) {
+  return "coldstart/" + ca;
+}
+
 }  // namespace ritm::ca

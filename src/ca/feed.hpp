@@ -42,4 +42,29 @@ std::optional<Feed> decode_feed(ByteSpan data);
 /// CDN object path for period k ("feed/000042").
 std::string feed_path(std::uint64_t period);
 
+/// The cold-start half of the snapshot+delta pair (§VIII bootstrapping,
+/// PR 4): a full dictionary snapshot under its signed root plus the
+/// freshness statement it was published with. A fresh RA restores the CA's
+/// replica from this one CDN GET and then pulls only the feed periods after
+/// `upto_period` — the delta half — instead of replaying the CA's entire
+/// issuance history.
+struct ColdStartObject {
+  cert::CaId ca;
+  /// Every feed period <= upto_period is already reflected in the snapshot.
+  std::uint64_t upto_period = 0;
+  dict::SignedRoot signed_root;
+  crypto::Digest20 freshness{};
+  /// dict::Dictionary::snapshot_into payload (root recomputed and checked
+  /// against signed_root on restore).
+  Bytes dict_snapshot;
+
+  Bytes encode() const;
+  static std::optional<ColdStartObject> decode(ByteSpan data);
+
+  bool operator==(const ColdStartObject&) const = default;
+};
+
+/// CDN object path of a CA's cold-start object ("coldstart/<ca>").
+std::string cold_start_path(const cert::CaId& ca);
+
 }  // namespace ritm::ca

@@ -1,0 +1,35 @@
+#include "common/crc32.hpp"
+
+namespace ritm {
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kTable{};
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, ByteSpan data) noexcept {
+  for (const std::uint8_t b : data) {
+    state = kTable.entries[(state ^ b) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(ByteSpan data) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+}  // namespace ritm

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check framing every persisted record and snapshot payload (src/persist/).
+// A CRC is the right tool there: it catches torn writes and bit rot cheaply;
+// cryptographic integrity of the *content* is carried by the recomputed
+// Merkle root and the CA signature checked during recovery, not by the CRC.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace ritm {
+
+/// One-shot CRC-32 of `data`.
+std::uint32_t crc32(ByteSpan data) noexcept;
+
+/// Streaming form: feed `crc32_update` the running value (start from
+/// crc32_init()) and finish with crc32_final(). Matches crc32() when the
+/// same bytes are fed in any chunking.
+constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+std::uint32_t crc32_update(std::uint32_t state, ByteSpan data) noexcept;
+constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ritm

@@ -316,6 +316,80 @@ std::vector<Entry> Dictionary::entries_from(std::uint64_t first_number) const {
   return out;
 }
 
+// Snapshot wire format v1 (big-endian, length-prefixed):
+//   u8  version
+//   u64 epoch
+//   u64 n
+//   n x (u8 serial_len, serial)      -- the log in numbering order; entry
+//                                       numbers are the implied positions
+//                                       1..n (insert()'s invariant)
+//   n x u32                          -- the sorted-by-serial index
+//   20B root                         -- recorded root, checked on restore
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+void Dictionary::snapshot_into(ByteWriter& w) const {
+  w.u8(kSnapshotVersion);
+  w.u64(epoch_);
+  w.u64(log_.size());
+  for (const Entry& e : log_) w.var8(ByteSpan(e.serial.value));
+  for (const std::uint32_t idx : sorted_) w.u32(idx);
+  w.raw(ByteSpan(root()));
+}
+
+void Dictionary::restore_from(ByteReader& r) {
+  const auto bad = [](const char* what) -> std::runtime_error {
+    return std::runtime_error(std::string("Dictionary::restore_from: ") +
+                              what);
+  };
+  if (r.try_u8().value_or(0xFF) != kSnapshotVersion) {
+    throw bad("unsupported snapshot version");
+  }
+  const auto epoch = r.try_u64();
+  const auto n64 = r.try_u64();
+  if (!epoch || !n64) throw bad("truncated header");
+  // Each entry costs at least 2 bytes (len + serial) plus 4 index bytes, so
+  // the remaining input bounds n — rejects forged counts before allocating.
+  if (*n64 > r.remaining() / 2) throw bad("entry count exceeds input");
+  const std::size_t n = static_cast<std::size_t>(*n64);
+
+  std::vector<Entry> log;
+  log.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto serial = r.try_var8();
+    if (!serial || serial->empty() || serial->size() > cert::kMaxSerialBytes) {
+      throw bad("bad serial");
+    }
+    log.push_back(Entry{cert::SerialNumber{std::move(*serial)}, i + 1});
+  }
+  std::vector<std::uint32_t> sorted;
+  sorted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx = r.try_u32();
+    if (!idx || *idx >= n) throw bad("bad sorted index");
+    // Strictly increasing serials also rule out duplicate indices: a
+    // repeated index would repeat its serial and fail the comparison.
+    if (i > 0 && cmp_serial(log[sorted.back()].serial, log[*idx].serial) >= 0) {
+      throw bad("sorted index out of order");
+    }
+    sorted.push_back(*idx);
+  }
+  const auto root_bytes = r.try_raw(20);
+  if (!root_bytes) throw bad("truncated root");
+  crypto::Digest20 recorded{};
+  std::copy(root_bytes->begin(), root_bytes->end(), recorded.begin());
+
+  // Stage into a scratch instance and pay for exactly one full rebuild; the
+  // recomputed root must reproduce the recorded one or the snapshot does not
+  // describe a state this code ever produced. *this is only replaced on
+  // success, so a failed restore leaves the dictionary untouched.
+  Dictionary fresh;
+  fresh.log_ = std::move(log);
+  fresh.sorted_ = std::move(sorted);
+  fresh.epoch_ = *epoch;
+  if (fresh.root() != recorded) throw bad("recorded root mismatch");
+  *this = std::move(fresh);
+}
+
 std::size_t Dictionary::storage_bytes() const noexcept {
   // Persisted form: per entry, 1 length byte + serial bytes + 8-byte number.
   std::size_t total = 0;

@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/io.hpp"
 #include "dict/proof.hpp"
 
 namespace ritm::dict {
@@ -74,6 +75,21 @@ class Dictionary {
   /// replication stream an RA uses to resynchronize after detecting a gap
   /// (§III "synchronization protocol").
   std::vector<Entry> entries_from(std::uint64_t first_number) const;
+
+  /// Serializes the dictionary (versioned, length-prefixed: epoch, the
+  /// entry log, the sorted index, and the current root) into `w` — the
+  /// snapshot payload of the persistence layer (src/persist/). The encoding
+  /// streams straight out of the flat arenas; it rebuilds lazily first so
+  /// the recorded root always matches the recorded contents.
+  void snapshot_into(ByteWriter& w) const;
+
+  /// Restores a dictionary serialized by snapshot_into(). No per-entry
+  /// re-hash: the log and sorted index load in O(n), the sorted order is
+  /// validated with byte comparisons, and the Merkle root is recomputed
+  /// once and checked against the snapshot's recorded root. Throws
+  /// std::runtime_error on malformed input or a root mismatch, leaving the
+  /// dictionary untouched.
+  void restore_from(ByteReader& r);
 
   /// Bytes needed to persist the raw revocation list (serials + numbers) —
   /// the paper's "storage overhead" (§VII-D).

@@ -1,0 +1,173 @@
+#include "persist/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "common/crc32.hpp"
+#include "common/io.hpp"
+
+namespace ritm::persist {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'R', 'I', 'T', 'M', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("SnapshotFile: " + what + ": " +
+                           std::strerror(errno));
+}
+
+std::string snapshot_name(std::uint64_t seq) {
+  // Zero-padded hex so lexicographic name order equals seq order.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snap-%016" PRIx64 ".snap", seq);
+  return buf;
+}
+
+/// Parses "snap-<16 hex>.snap"; nullopt for anything else (.tmp leftovers,
+/// the WAL, foreign files).
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
+  if (name.size() != 26 || name.rfind("snap-", 0) != 0 ||
+      name.compare(21, 5, ".snap") != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t seq = 0;
+  for (std::size_t i = 5; i < 21; ++i) {
+    const char c = name[i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') digit = std::uint64_t(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = std::uint64_t(c - 'a' + 10);
+    else return std::nullopt;
+    seq = (seq << 4) | digit;
+  }
+  return seq;
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("open for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail("fsync");
+}
+
+std::optional<Bytes> try_read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+void SnapshotFile::write(const std::string& dir, std::uint64_t seq,
+                         ByteSpan payload, std::size_t keep) {
+  std::filesystem::create_directories(dir);
+
+  ByteWriter w;
+  w.raw(ByteSpan(kMagic, sizeof(kMagic)));
+  w.u32(kVersion);
+  w.u64(seq);
+  w.u32(crc32(payload));
+  w.u64(payload.size());
+  w.raw(payload);
+
+  const std::string final_path = dir + "/" + snapshot_name(seq);
+  const std::string tmp_path = final_path + ".tmp";
+  const int fd =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("open tmp");
+  const ByteSpan data{w.bytes()};
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write tmp");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail("fsync tmp");
+  }
+  if (::close(fd) != 0) fail("close tmp");
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) fail("rename");
+  fsync_path(dir);
+
+  // Retention: drop everything older than the newest `keep` snapshots. The
+  // just-committed file is newest, so at least it always survives.
+  std::vector<std::uint64_t> seqs;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (const auto s = parse_snapshot_name(entry.path().filename().string())) {
+      seqs.push_back(*s);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  if (keep == 0) keep = 1;
+  while (seqs.size() > keep) {
+    std::error_code ec;  // best-effort cleanup; stale files are harmless
+    std::filesystem::remove(dir + "/" + snapshot_name(seqs.front()), ec);
+    seqs.erase(seqs.begin());
+  }
+}
+
+std::optional<SnapshotFile::Loaded> SnapshotFile::load_newest(
+    const std::string& dir, std::uint64_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return std::nullopt;
+
+  std::vector<std::uint64_t> seqs;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (const auto s = parse_snapshot_name(entry.path().filename().string())) {
+      seqs.push_back(*s);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end(), std::greater<>());
+
+  for (const std::uint64_t seq : seqs) {
+    const auto data = try_read_file(dir + "/" + snapshot_name(seq));
+    if (data && data->size() >= kHeaderSize &&
+        std::memcmp(data->data(), kMagic, sizeof(kMagic)) == 0) {
+      ByteReader r{ByteSpan(*data).subspan(sizeof(kMagic))};
+      const std::uint32_t version = r.u32();
+      const std::uint64_t stamped_seq = r.u64();
+      const std::uint32_t crc = r.u32();
+      const std::uint64_t len = r.u64();
+      if (version == kVersion && stamped_seq == seq && len == r.remaining()) {
+        Loaded loaded;
+        loaded.seq = seq;
+        loaded.payload = r.raw(r.remaining());
+        if (crc32(ByteSpan(loaded.payload)) == crc) return loaded;
+      }
+    }
+    if (skipped != nullptr) ++*skipped;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ritm::persist

@@ -1,0 +1,56 @@
+// Atomic snapshot files for the durable dictionary pipeline (PR 4).
+//
+// A snapshot is one opaque payload (a dict/ra snapshot encoding) stamped
+// with the WAL sequence number it covers: every logged record with
+// seq <= that stamp is already reflected in the payload, so recovery loads
+// the newest valid snapshot and replays only the WAL records past it.
+//
+// Commit protocol (crash-safe on POSIX rename semantics):
+//   1. write snap-<seq>.tmp in full,
+//   2. fsync the tmp file,
+//   3. rename(2) it to snap-<seq>.snap,
+//   4. fsync the directory.
+// A crash before (3) leaves only a .tmp that loading ignores; a crash after
+// leaves a complete, CRC-checked file. load_newest() walks snapshots newest
+// first and skips any whose header or CRC does not check out, so a corrupt
+// latest snapshot degrades to the previous one instead of to nothing.
+//
+// On-disk layout (big-endian, common::io):
+//   "RITMSNAP" (8)  u32 version (=1)  u64 seq  u32 payload_crc32
+//   u64 payload_len  payload
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace ritm::persist {
+
+class SnapshotFile {
+ public:
+  static constexpr std::size_t kHeaderSize = 32;
+
+  struct Loaded {
+    std::uint64_t seq = 0;
+    Bytes payload;
+  };
+
+  /// Atomically commits `payload` as the snapshot covering WAL records up to
+  /// and including `seq`. Creates `dir` if needed. Older snapshots beyond
+  /// the most recent `keep` are deleted after the commit (the newest valid
+  /// one plus one fallback by default). Throws std::runtime_error on I/O
+  /// failure.
+  static void write(const std::string& dir, std::uint64_t seq,
+                    ByteSpan payload, std::size_t keep = 2);
+
+  /// Loads the newest snapshot in `dir` whose header and CRC validate,
+  /// skipping corrupt or torn ones. `skipped`, when given, receives the
+  /// number of snapshot files that failed validation. nullopt when no valid
+  /// snapshot exists.
+  static std::optional<Loaded> load_newest(const std::string& dir,
+                                           std::uint64_t* skipped = nullptr);
+};
+
+}  // namespace ritm::persist

@@ -1,6 +1,10 @@
 #include "ra/store.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "persist/snapshot.hpp"
 
 namespace ritm::ra {
 
@@ -28,6 +32,25 @@ const DictionaryStore::CaState* DictionaryStore::find(
     const cert::CaId& ca) const {
   auto it = cas_.find(ca);
   return it == cas_.end() ? nullptr : &it->second;
+}
+
+void DictionaryStore::append_wal(std::uint8_t type, ByteSpan payload) {
+  // A log emptied by a snapshot commit and then reopened restarts its
+  // numbering at 1; records at or below the snapshot's stamp would be
+  // dropped by the next recovery, so floor the counter first.
+  wal_->fast_forward(mutation_seq_ + 1);
+  mutation_seq_ = wal_->append(type, payload);
+}
+
+void DictionaryStore::log_mutation(std::uint8_t type, UnixSeconds now,
+                                   ByteSpan message) {
+  if (wal_ == nullptr || replaying_) return;
+  Bytes payload;
+  payload.reserve(8 + message.size());
+  ByteWriter w(payload);
+  w.u64(static_cast<std::uint64_t>(now));
+  w.raw(message);
+  append_wal(type, ByteSpan(payload));
 }
 
 bool DictionaryStore::accept_freshness(CaState& state,
@@ -87,7 +110,7 @@ ApplyResult DictionaryStore::apply_issuance(
   state->freshness_period = 0;
   state->desynchronized = false;
   ++state->freshness_seq;  // served material changed even if n did not
-  (void)now;
+  log_mutation(kWalIssuance, now, ByteSpan(msg.encode()));
   return ApplyResult::ok;
 }
 
@@ -98,6 +121,7 @@ ApplyResult DictionaryStore::apply_freshness(
   if (!accept_freshness(*state, msg.statement, now)) {
     return ApplyResult::bad_freshness;
   }
+  log_mutation(kWalFreshness, now, ByteSpan(msg.encode()));
   return ApplyResult::ok;
 }
 
@@ -130,6 +154,58 @@ ApplyResult DictionaryStore::apply_sync(const dict::SyncResponse& msg,
     state->freshness = msg.signed_root.freshness_anchor;
     state->freshness_period = 0;
   }
+  log_mutation(kWalSync, now, ByteSpan(msg.encode()));
+  return ApplyResult::ok;
+}
+
+ApplyResult DictionaryStore::bootstrap_replica(const cert::CaId& ca,
+                                               ByteSpan dict_snapshot,
+                                               const dict::SignedRoot& root,
+                                               const crypto::Digest20& freshness,
+                                               UnixSeconds now) {
+  CaState* state = find(ca);
+  if (state == nullptr || root.ca != ca) return ApplyResult::unknown_ca;
+  if (!root.verify(state->key)) return ApplyResult::bad_signature;
+  if (state->have_root &&
+      (root.n < state->root.n || root.timestamp < state->root.timestamp)) {
+    return ApplyResult::stale_root;
+  }
+
+  // Stage the dictionary first: restore_from recomputes the root once and
+  // checks it against the snapshot's recorded root, and the signed root
+  // must commit to exactly that root and size.
+  dict::Dictionary staged;
+  ByteReader r{dict_snapshot};
+  try {
+    staged.restore_from(r);
+  } catch (const std::exception&) {
+    return ApplyResult::root_mismatch;
+  }
+  if (!r.done() || staged.root() != root.root || staged.size() != root.n) {
+    return ApplyResult::root_mismatch;
+  }
+
+  state->dict = std::move(staged);
+  state->root = root;
+  state->have_root = true;
+  state->freshness = root.freshness_anchor;
+  state->freshness_period = 0;
+  state->desynchronized = false;
+  ++state->freshness_seq;
+  // Adopt the carried statement if it chains into the new anchor; on
+  // failure the anchor itself (period 0) remains the served statement.
+  accept_freshness(*state, freshness, now);
+
+  if (wal_ != nullptr && !replaying_) {
+    Bytes payload;
+    ByteWriter w(payload);
+    w.u64(static_cast<std::uint64_t>(now));
+    w.var16(ByteSpan(bytes_of(ca)));
+    w.var16(ByteSpan(root.encode()));
+    w.raw(ByteSpan(freshness));
+    w.raw(dict_snapshot);
+    append_wal(kWalBootstrap, ByteSpan(payload));
+  }
   return ApplyResult::ok;
 }
 
@@ -149,6 +225,31 @@ std::optional<dict::RevocationStatus> DictionaryStore::status_for(
   return assemble_status(*state, serial);
 }
 
+void DictionaryStore::evict_for(const CaState& state, std::size_t need) const {
+  auto& ring = state.cache_ring;
+  while (!ring.empty() && state.cache_bytes + need > status_cache_budget_) {
+    if (state.cache_hand >= ring.size()) state.cache_hand = 0;
+    const std::string* key = ring[state.cache_hand];
+    auto it = state.status_cache.find(*key);
+    if (it->second.ref) {
+      // Second chance: referenced since the hand last came by.
+      it->second.ref = false;
+      ++state.cache_hand;
+      continue;
+    }
+    const std::size_t freed =
+        key->size() + it->second.bytes.size() + kCacheEntryOverhead;
+    state.cache_bytes -= freed;
+    ++cache_stats_.evictions;
+    cache_stats_.evicted_bytes += freed;
+    // Swap-remove the slot; the moved slot takes over the hand position and
+    // gets examined next, which preserves the sweep.
+    ring[state.cache_hand] = ring.back();
+    ring.pop_back();
+    state.status_cache.erase(it);
+  }
+}
+
 std::optional<DictionaryStore::CachedStatus> DictionaryStore::status_bytes_for(
     const cert::CaId& ca, const cert::SerialNumber& serial) const {
   const CaState* state = find(ca);
@@ -163,6 +264,9 @@ std::optional<DictionaryStore::CachedStatus> DictionaryStore::status_bytes_for(
       state->cache_freshness_seq != state->freshness_seq) {
     if (!state->status_cache.empty()) {
       state->status_cache.clear();
+      state->cache_ring.clear();
+      state->cache_hand = 0;
+      state->cache_bytes = 0;
       ++cache_stats_.invalidations;
     }
     state->cache_epoch = epoch;
@@ -175,22 +279,33 @@ std::optional<DictionaryStore::CachedStatus> DictionaryStore::status_bytes_for(
   auto it = state->status_cache.find(key);
   if (it == state->status_cache.end()) {
     ++cache_stats_.misses;
-    if (state->status_cache.size() >= kStatusCacheCapacity) {
-      state->status_cache.clear();  // simple wholesale eviction
-      ++cache_stats_.evictions;
-    }
     const dict::RevocationStatus status = assemble_status(*state, serial);
     Bytes encoded;
     encoded.reserve(status.wire_size());
     status.encode_into(encoded);
-    it = state->status_cache.emplace(std::string(key), std::move(encoded))
+    // Make room under the byte budget before admitting the new entry (a
+    // single entry larger than the whole budget is still admitted — the
+    // cache then holds exactly that entry).
+    const std::size_t need =
+        key.size() + encoded.size() + kCacheEntryOverhead;
+    evict_for(*state, need);
+    CaState::CacheEntry entry;
+    entry.bytes = std::move(encoded);
+    entry.ref = true;
+    it = state->status_cache.emplace(std::string(key), std::move(entry))
              .first;
+    state->cache_ring.push_back(&it->first);
+    state->cache_bytes += need;
   } else {
     ++cache_stats_.hits;
+    // Keep hot serials warm across evictions; test-before-set so steady-
+    // state hits never dirty the entry's cache line.
+    if (!it->second.ref) it->second.ref = true;
   }
   // Note: rehashing on insert moves buckets, not elements — the Bytes the
-  // returned pointer refers to stays put until the cache is invalidated.
-  return CachedStatus{&it->second, state->root.n, state->root.timestamp,
+  // returned pointer refers to stays put until the cache is invalidated or
+  // the entry is evicted.
+  return CachedStatus{&it->second.bytes, state->root.n, state->root.timestamp,
                       epoch};
 }
 
@@ -234,13 +349,211 @@ std::size_t DictionaryStore::memory_bytes() const {
   std::size_t total = 0;
   for (const auto& [id, state] : cas_) {
     total += state.dict.memory_bytes();
-    // The warm status cache can dominate a serving RA's footprint; count
-    // it (keys, encoded statuses, and a node-pointer estimate per entry).
-    for (const auto& [serial, bytes] : state.status_cache) {
-      total += serial.capacity() + bytes.capacity() + 4 * sizeof(void*);
-    }
+    // The warm status cache can dominate a serving RA's footprint; its
+    // budgeted accounting already covers keys, encoded statuses, and
+    // per-entry bookkeeping.
+    total += state.cache_bytes +
+             state.cache_ring.capacity() * sizeof(const std::string*);
   }
   return total;
+}
+
+// ------------------------------------------------------------- durability
+
+// Store snapshot wire format v1: u8 version, u32 ca_count, then per CA (in
+// CaId order): var16 ca, u8 have_root, u8 desynchronized, [var16 signed
+// root when have_root], 20B freshness, u64 freshness_period,
+// u64 freshness_seq, nested Dictionary snapshot. Keys and ∆ are trust
+// configuration (register_ca), not replicated state, and are not persisted.
+namespace {
+constexpr std::uint8_t kStoreSnapshotVersion = 1;
+}  // namespace
+
+void DictionaryStore::snapshot_into(ByteWriter& w) const {
+  w.u8(kStoreSnapshotVersion);
+  w.u32(static_cast<std::uint32_t>(cas_.size()));
+  for (const auto& [ca, state] : cas_) {
+    w.var16(ByteSpan(bytes_of(ca)));
+    w.u8(state.have_root ? 1 : 0);
+    w.u8(state.desynchronized ? 1 : 0);
+    if (state.have_root) w.var16(ByteSpan(state.root.encode()));
+    w.raw(ByteSpan(state.freshness));
+    w.u64(state.freshness_period);
+    w.u64(state.freshness_seq);
+    state.dict.snapshot_into(w);
+  }
+}
+
+void DictionaryStore::restore_from(ByteReader& r) {
+  const auto bad = [](const char* what) -> std::runtime_error {
+    return std::runtime_error(
+        std::string("DictionaryStore::restore_from: ") + what);
+  };
+  if (r.try_u8().value_or(0xFF) != kStoreSnapshotVersion) {
+    throw bad("unsupported snapshot version");
+  }
+  const auto count = r.try_u32();
+  if (!count) throw bad("truncated header");
+
+  // Stage into a copy so a failure at any CA leaves the store untouched.
+  // Every staged cache is dropped up front: the copied cache_ring pointers
+  // target the *original* map's keys, which die when the stage is
+  // committed — and a restore is a version change for every replica anyway.
+  std::map<cert::CaId, CaState> staged = cas_;
+  for (auto& [ca, state] : staged) {
+    state.status_cache.clear();
+    state.cache_ring.clear();
+    state.cache_hand = 0;
+    state.cache_bytes = 0;
+    state.cache_epoch = state.dict.epoch();
+    state.cache_freshness_seq = state.freshness_seq;
+  }
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto ca_bytes = r.try_var16();
+    if (!ca_bytes) throw bad("truncated CA id");
+    const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+    auto it = staged.find(ca);
+    if (it == staged.end()) throw bad("snapshot CA not registered");
+    CaState& state = it->second;
+
+    const auto have_root = r.try_u8();
+    const auto desync = r.try_u8();
+    if (!have_root || *have_root > 1 || !desync || *desync > 1) {
+      throw bad("bad flags");
+    }
+    state.have_root = *have_root == 1;
+    state.desynchronized = *desync == 1;
+    if (state.have_root) {
+      const auto root_bytes = r.try_var16();
+      if (!root_bytes) throw bad("truncated signed root");
+      auto root = dict::SignedRoot::decode(ByteSpan(*root_bytes));
+      if (!root || root->ca != ca) throw bad("bad signed root");
+      // Trust is re-established from the registered key, not the file.
+      if (!root->verify(state.key)) throw bad("signed root fails key check");
+      state.root = std::move(*root);
+    } else {
+      state.root = dict::SignedRoot{};
+    }
+    const auto freshness = r.try_raw(20);
+    const auto period = r.try_u64();
+    const auto seq = r.try_u64();
+    if (!freshness || !period || !seq) throw bad("truncated freshness state");
+    std::copy(freshness->begin(), freshness->end(), state.freshness.begin());
+    state.freshness_period = *period;
+    state.freshness_seq = *seq;
+    state.dict.restore_from(r);  // recomputes + checks the dictionary root
+    if (state.have_root && (state.dict.root() != state.root.root ||
+                            state.dict.size() != state.root.n)) {
+      throw bad("dictionary does not match signed root");
+    }
+    // Caches rebuild lazily: re-key the (emptied) cache to the restored
+    // version so the first lookup starts clean.
+    state.cache_epoch = state.dict.epoch();
+    state.cache_freshness_seq = state.freshness_seq;
+  }
+  cas_ = std::move(staged);
+}
+
+void DictionaryStore::persist_to(const std::string& dir) {
+  Bytes payload;
+  ByteWriter w(payload);
+  snapshot_into(w);
+  persist::SnapshotFile::write(dir, mutation_seq_, ByteSpan(payload));
+  if (wal_ != nullptr) wal_->reset(mutation_seq_ + 1);
+}
+
+DictionaryStore::RecoveryReport DictionaryStore::recover_from(
+    const std::string& dir) {
+  RecoveryReport report;
+  persist::RecoveryResult rec = persist::Recovery::recover(dir);
+  report.truncated_bytes = rec.wal_truncated_bytes;
+  report.snapshots_skipped = rec.snapshots_skipped;
+
+  if (rec.have_snapshot) {
+    try {
+      ByteReader r{ByteSpan(rec.snapshot)};
+      restore_from(r);
+      if (!r.done()) throw std::runtime_error("trailing snapshot bytes");
+    } catch (const std::exception& e) {
+      report.error = e.what();
+      return report;
+    }
+    report.have_snapshot = true;
+    report.snapshot_seq = rec.snapshot_seq;
+  }
+  mutation_seq_ = rec.snapshot_seq;
+
+  // Replay the tail through the very apply paths that ran live; the WAL
+  // only holds accepted mutations, so rejections here mean the log and
+  // snapshot disagree (they are still counted, never fatal — the replica
+  // simply converges to the longest consistent prefix).
+  replaying_ = true;
+  for (const persist::WalRecord& record : rec.tail) {
+    ByteReader r{ByteSpan(record.payload)};
+    const auto now64 = r.try_u64();
+    if (record.type >= 16) {
+      report.unhandled.push_back(record);
+      continue;
+    }
+    if (!now64) {
+      ++report.rejected;
+      continue;
+    }
+    const UnixSeconds now = static_cast<UnixSeconds>(*now64);
+    ApplyResult result = ApplyResult::root_mismatch;
+    bool decoded = false;
+    const Bytes body = r.raw(r.remaining());
+    switch (record.type) {
+      case kWalIssuance:
+        if (auto msg = dict::RevocationIssuance::decode(ByteSpan(body))) {
+          decoded = true;
+          result = apply_issuance(*msg, now);
+        }
+        break;
+      case kWalFreshness:
+        if (auto msg = dict::FreshnessStatement::decode(ByteSpan(body))) {
+          decoded = true;
+          result = apply_freshness(*msg, now);
+        }
+        break;
+      case kWalSync:
+        if (auto msg = dict::SyncResponse::decode(ByteSpan(body))) {
+          decoded = true;
+          result = apply_sync(*msg, now);
+        }
+        break;
+      case kWalBootstrap: {
+        ByteReader br{ByteSpan(body)};
+        const auto ca_bytes = br.try_var16();
+        if (!ca_bytes) break;
+        const auto root_bytes = br.try_var16();
+        if (!root_bytes) break;
+        const auto fresh_bytes = br.try_raw(20);
+        if (!fresh_bytes) break;
+        if (auto root = dict::SignedRoot::decode(ByteSpan(*root_bytes))) {
+          decoded = true;
+          crypto::Digest20 freshness{};
+          std::copy(fresh_bytes->begin(), fresh_bytes->end(),
+                    freshness.begin());
+          const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+          const auto snap = ByteSpan(body).subspan(br.position());
+          result = bootstrap_replica(ca, snap, *root, freshness, now);
+        }
+        break;
+      }
+      default:
+        break;  // reserved store-range type from a newer writer
+    }
+    if (decoded && result == ApplyResult::ok) {
+      ++report.replayed;
+    } else {
+      ++report.rejected;
+    }
+    mutation_seq_ = record.seq;
+  }
+  replaying_ = false;
+  report.ok = true;
+  return report;
 }
 
 }  // namespace ritm::ra

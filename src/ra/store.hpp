@@ -10,7 +10,17 @@
 // version — the dictionary epoch plus a freshness sequence — and is dropped
 // wholesale the moment either advances, so a warm serial costs one hash
 // lookup and a memcpy instead of prove + encode, and a stale status can
-// never be served across a root change.
+// never be served across a root change. Within one version the cache is
+// bounded by a byte budget with CLOCK second-chance eviction: high-
+// cardinality (attacker-controlled) serials evict cold entries one at a
+// time while hot serials keep their ref bit and stay warm.
+//
+// Durability (PR 4): attach_wal() makes the store log every accepted
+// mutation to a persist::WriteAheadLog; persist_to()/recover_from() write
+// and reload atomic snapshots, replaying the WAL tail through the same
+// apply_* paths that ran live — recovery *is* replay, so the recovered
+// root/epoch/proofs are byte-identical to an in-memory replay of the
+// surviving prefix.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +29,13 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/hash_chain.hpp"
 #include "dict/dictionary.hpp"
 #include "dict/messages.hpp"
 #include "dict/signed_root.hpp"
+#include "persist/recovery.hpp"
 
 namespace ritm::ra {
 
@@ -65,6 +77,16 @@ class DictionaryStore {
   /// Applies a sync response (recovery after gap_detected).
   ApplyResult apply_sync(const dict::SyncResponse& msg, UnixSeconds now);
 
+  /// Installs a CDN cold-start replica (§VIII bootstrapping): restores the
+  /// CA's dictionary from a Dictionary snapshot payload, checks the signed
+  /// root against the registered key, the recomputed dictionary root, and
+  /// the recorded size, then adopts the freshness statement. One pull
+  /// replaces replaying the CA's entire issuance history.
+  ApplyResult bootstrap_replica(const cert::CaId& ca, ByteSpan dict_snapshot,
+                                const dict::SignedRoot& root,
+                                const crypto::Digest20& freshness,
+                                UnixSeconds now);
+
   /// Builds the revocation status (Eq. (3)) the RA injects for a serial.
   /// Always re-proves and re-assembles — the cold path; the packet pipeline
   /// uses status_bytes_for().
@@ -75,7 +97,8 @@ class DictionaryStore {
   /// the agent needs for the multi-RA freshness comparison without decoding.
   struct CachedStatus {
     /// Wire encoding of the RevocationStatus (what attach_status_bytes
-    /// copies into the packet). Valid until the next store mutation.
+    /// copies into the packet). Valid until the next store mutation or
+    /// capacity eviction.
     const Bytes* bytes = nullptr;
     std::uint64_t n = 0;          // signed_root.n
     UnixSeconds timestamp = 0;    // signed_root.timestamp
@@ -86,14 +109,24 @@ class DictionaryStore {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;          // lookups that had to prove + encode
     std::uint64_t invalidations = 0;   // wholesale drops on version change
-    std::uint64_t evictions = 0;       // wholesale drops at capacity
+    std::uint64_t evictions = 0;       // single entries evicted by CLOCK
+    std::uint64_t evicted_bytes = 0;   // bytes reclaimed by those evictions
   };
 
-  /// Per-CA status-cache capacity. Serials are read off observed
-  /// certificates, i.e. attacker-controlled, so the cache is bounded with
-  /// wholesale eviction (same policy as the agent's session cache) — high-
-  /// cardinality traffic costs re-proving, never unbounded memory.
-  static constexpr std::size_t kStatusCacheCapacity = 1 << 16;
+  /// Default per-CA status-cache byte budget. Serials are read off observed
+  /// certificates, i.e. attacker-controlled, so the cache is bounded — but
+  /// eviction is CLOCK second-chance per entry, not wholesale: hot serials
+  /// under a flood of one-shot probes keep their ref bit and stay warm.
+  static constexpr std::size_t kStatusCacheDefaultBudget = 32u << 20;
+
+  /// Adjusts the per-CA cache byte budget (shrinking takes effect at each
+  /// CA's next miss). Budgets below one entry still admit a single entry.
+  void set_status_cache_budget(std::size_t bytes) noexcept {
+    status_cache_budget_ = bytes;
+  }
+  std::size_t status_cache_budget() const noexcept {
+    return status_cache_budget_;
+  }
 
   /// The warm serving path: returns the cached encoded status for
   /// (ca, serial), proving and encoding only on the first lookup per replica
@@ -129,6 +162,66 @@ class DictionaryStore {
   std::size_t storage_bytes() const;
   std::size_t memory_bytes() const;
 
+  // ------------------------------------------------------------ durability
+
+  /// WAL record types owned by the store (persist::WalRecord::type). Types
+  /// 16+ are left to layers stacking their own records onto the same log
+  /// (ra::RaUpdater's feed-period markers).
+  static constexpr std::uint8_t kWalIssuance = 1;
+  static constexpr std::uint8_t kWalFreshness = 2;
+  static constexpr std::uint8_t kWalSync = 3;
+  static constexpr std::uint8_t kWalBootstrap = 4;
+
+  /// Attaches an open write-ahead log: from now on every *accepted* mutation
+  /// (issuance / freshness / sync / bootstrap, with its wall-clock `now`) is
+  /// appended before the apply call returns. Detach with nullptr. The log
+  /// must outlive the store or the next attach.
+  void attach_wal(persist::WriteAheadLog* wal) noexcept { wal_ = wal; }
+  persist::WriteAheadLog* wal() const noexcept { return wal_; }
+
+  /// Sequence number of the last logged (or replayed) mutation — what
+  /// persist_to() stamps its snapshot with.
+  std::uint64_t mutation_seq() const noexcept { return mutation_seq_; }
+
+  /// Serializes every replica's durable state (per CA: flags, signed root,
+  /// freshness state, and the dictionary snapshot). Status caches are not
+  /// persisted — they rebuild lazily on the first post-recovery lookups.
+  void snapshot_into(ByteWriter& w) const;
+
+  /// Restores a snapshot_into() encoding. Every CA in the snapshot must
+  /// already be registered (keys and ∆ are trust configuration, not
+  /// replicated state); each signed root is re-verified against its
+  /// registered key and each dictionary's root is recomputed once and
+  /// checked. Throws std::runtime_error on any mismatch, leaving the store
+  /// untouched. Registered CAs absent from the snapshot keep their state.
+  void restore_from(ByteReader& r);
+
+  /// Atomically writes the current state as a snapshot into `dir` (stamped
+  /// with mutation_seq()) and, when a WAL is attached, resets it — the
+  /// snapshot supersedes every logged record.
+  void persist_to(const std::string& dir);
+
+  struct RecoveryReport {
+    bool ok = false;
+    bool have_snapshot = false;
+    std::uint64_t snapshot_seq = 0;
+    std::size_t replayed = 0;        // WAL records applied cleanly
+    std::size_t rejected = 0;        // replayed records the rules refused
+    std::uint64_t truncated_bytes = 0;   // torn WAL tail detected
+    std::uint64_t snapshots_skipped = 0; // corrupt snapshot files passed over
+    /// Records with types the store does not own (16+), in seq order — the
+    /// updater reads its period markers back out of these.
+    std::vector<persist::WalRecord> unhandled;
+    std::string error;               // set when ok == false
+  };
+
+  /// Crash recovery: loads the newest valid snapshot in `dir` and replays
+  /// the WAL tail past it through the normal apply_* paths (without
+  /// re-logging). Torn final records are detected and skipped; reopening
+  /// the WAL for appending afterwards truncates them in place. All CAs must
+  /// be registered before calling.
+  RecoveryReport recover_from(const std::string& dir);
+
  private:
   struct CaState {
     crypto::PublicKey key{};
@@ -145,7 +238,8 @@ class DictionaryStore {
     /// versions everything a RevocationStatus contains.
     std::uint64_t freshness_seq = 0;
     // Serial → encoded RevocationStatus, valid for exactly one
-    // (dict epoch, freshness_seq) pair. Heterogeneous lookup keeps the warm
+    // (dict epoch, freshness_seq) pair, bounded by the byte budget with
+    // CLOCK second-chance eviction. Heterogeneous lookup keeps the warm
     // path allocation-free (the serial bytes are viewed, not copied, until
     // an insert). Mutable: serving is logically const.
     struct TransparentHash {
@@ -154,12 +248,26 @@ class DictionaryStore {
         return std::hash<std::string_view>{}(s);
       }
     };
-    mutable std::unordered_map<std::string, Bytes, TransparentHash,
+    struct CacheEntry {
+      Bytes bytes;
+      bool ref = false;  // CLOCK second-chance bit
+    };
+    mutable std::unordered_map<std::string, CacheEntry, TransparentHash,
                                std::equal_to<>>
         status_cache;
+    /// CLOCK ring: one slot per cached serial (pointers into the map's
+    /// node-stable keys). The hand sweeps slots, clearing ref bits, and
+    /// evicts the first entry found cold.
+    mutable std::vector<const std::string*> cache_ring;
+    mutable std::size_t cache_hand = 0;
+    mutable std::size_t cache_bytes = 0;  // budgeted footprint of the cache
     mutable std::uint64_t cache_epoch = 0;
     mutable std::uint64_t cache_freshness_seq = 0;
   };
+
+  /// Budget accounting per cache entry beyond key + encoded bytes: map node
+  /// and ring-slot bookkeeping.
+  static constexpr std::size_t kCacheEntryOverhead = 64;
 
   CaState* find(const cert::CaId& ca);
   const CaState* find(const cert::CaId& ca) const;
@@ -171,9 +279,24 @@ class DictionaryStore {
   /// it on success.
   bool accept_freshness(CaState& state, const crypto::Digest20& statement,
                         UnixSeconds now);
+  /// CLOCK second-chance: evicts cold entries from `state`'s cache until
+  /// `need` more bytes fit under the budget (or the cache is empty).
+  void evict_for(const CaState& state, std::size_t need) const;
+  /// Raw WAL append with the sequence counter floored past mutation_seq()
+  /// (a reopened post-checkpoint log restarts at 1, which would place new
+  /// records below the snapshot's stamp and lose them at the next
+  /// recovery). Requires an attached WAL.
+  void append_wal(std::uint8_t type, ByteSpan payload);
+  /// Appends an accepted mutation to the attached WAL (no-op while
+  /// replaying or with no WAL attached).
+  void log_mutation(std::uint8_t type, UnixSeconds now, ByteSpan message);
 
   std::map<cert::CaId, CaState> cas_;
   mutable CacheStats cache_stats_;
+  std::size_t status_cache_budget_ = kStatusCacheDefaultBudget;
+  persist::WriteAheadLog* wal_ = nullptr;
+  std::uint64_t mutation_seq_ = 0;
+  bool replaying_ = false;  // recover_from() replay must not re-log
 };
 
 }  // namespace ritm::ra

@@ -1,6 +1,9 @@
 #include "ra/updater.hpp"
 
+#include <filesystem>
 #include <stdexcept>
+
+#include "persist/recovery.hpp"
 
 namespace ritm::ra {
 
@@ -75,8 +78,94 @@ RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
       }
     }
     ++next_period_;
+    mark_period();  // the log now covers everything below next_period_
   }
   return result;
+}
+
+RaUpdater::~RaUpdater() {
+  // The store must never keep a pointer into the WAL this updater owns.
+  if (wal_ && store_->wal() == wal_.get()) store_->attach_wal(nullptr);
+}
+
+void RaUpdater::mark_period() {
+  if (!wal_) return;
+  // Same seq flooring as the store's mutations: a marker numbered at or
+  // below the snapshot stamp would be dropped by the next recovery.
+  wal_->fast_forward(store_->mutation_seq() + 1);
+  std::uint8_t buf[8];
+  for (int s = 0; s < 8; ++s) {
+    buf[s] = static_cast<std::uint8_t>(next_period_ >> (56 - 8 * s));
+  }
+  wal_->append(kWalPeriodMark, ByteSpan(buf, 8));
+}
+
+void RaUpdater::enable_persistence(const std::string& dir,
+                                   persist::WalOptions opts) {
+  persist_dir_ = dir;
+  std::filesystem::create_directories(dir);
+  wal_ = std::make_unique<persist::WriteAheadLog>();
+  wal_->open(persist::Recovery::wal_path(dir), opts);
+  store_->attach_wal(wal_.get());
+}
+
+void RaUpdater::checkpoint() {
+  if (!wal_) {
+    throw std::logic_error("RaUpdater::checkpoint: persistence not enabled");
+  }
+  wal_->sync();
+  store_->persist_to(persist_dir_);  // stamps mutation_seq, resets the WAL
+  // Re-mark the cursor right after the reset: the snapshot carries only
+  // store state, so the freshly emptied log must say where pulling resumes.
+  // (A crash inside this window recovers with cursor 0 and re-pulls old
+  // periods; the store rejects them as stale — wasteful, never unsound.)
+  mark_period();
+  wal_->sync();
+}
+
+DictionaryStore::RecoveryReport RaUpdater::recover(const std::string& dir,
+                                                   persist::WalOptions opts) {
+  auto report = store_->recover_from(dir);
+  if (report.ok) {
+    // The newest period marker in the surviving tail is the feed cursor;
+    // markers are appended after each period, so replaying from there
+    // re-fetches at most the period that was mid-pull at the crash.
+    for (const auto& rec : report.unhandled) {
+      if (rec.type != kWalPeriodMark || rec.payload.size() != 8) continue;
+      std::uint64_t period = 0;
+      for (const std::uint8_t b : rec.payload) period = (period << 8) | b;
+      if (period > next_period_) next_period_ = period;
+    }
+  }
+  // Stay durable: reopen the WAL for appending (this truncates the torn
+  // tail recovery skipped) and resume logging.
+  enable_persistence(dir, opts);
+  return report;
+}
+
+bool RaUpdater::bootstrap(const cert::CaId& ca, TimeMs now, Rng& rng) {
+  const auto fetch =
+      cdn_->get(ca::cold_start_path(ca), now, config_.location, rng);
+  totals_.latency_ms += fetch.latency_ms;
+  if (!fetch.found) return false;
+  totals_.bytes += fetch.bytes;
+  const auto obj = ca::ColdStartObject::decode(ByteSpan(fetch.object->data));
+  if (!obj || obj->ca != ca) return false;
+  if (store_->bootstrap_replica(ca, ByteSpan(obj->dict_snapshot),
+                                obj->signed_root, obj->freshness,
+                                to_seconds(now)) != ApplyResult::ok) {
+    ++totals_.rejected;
+    return false;
+  }
+  ++totals_.bootstraps;
+  ++totals_.applied_ok;
+  // The snapshot covers every feed period up to and including upto_period:
+  // resume pulling right after it (never rewind a fresher cursor).
+  if (obj->upto_period + 1 > next_period_) {
+    next_period_ = obj->upto_period + 1;
+    mark_period();
+  }
+  return true;
 }
 
 std::optional<MisbehaviourEvidence> RaUpdater::consistency_check(

@@ -3,17 +3,29 @@
 // on a detected numbering gap it runs the sync protocol; and it can run the
 // consistency-checking procedure of §III (fetch a random edge's copy of a
 // CA's signed root and compare against the local replica).
+//
+// Durable mode (PR 4): enable_persistence() opens a write-ahead log shared
+// with the store — the store logs every accepted feed message, the updater
+// logs a period marker after each pulled feed period — and checkpoint()
+// snapshots both into the same directory. recover() then restores the
+// replicas from snapshot + WAL tail and resumes pulling from the first
+// period the log had not yet covered, instead of re-syncing the entire
+// issuance history. bootstrap() is the CDN cold-start path: one GET for the
+// snapshot+delta object replaces the full replay entirely.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ca/distribution.hpp"
 #include "ca/feed.hpp"
 #include "cdn/cdn.hpp"
 #include "common/rng.hpp"
+#include "persist/wal.hpp"
 #include "ra/store.hpp"
 #include "sim/geo.hpp"
 
@@ -38,6 +50,7 @@ class RaUpdater {
     std::uint64_t rejected = 0;          // bad signature / root mismatch
     std::uint64_t syncs = 0;
     std::uint64_t sync_bytes = 0;
+    std::uint64_t bootstraps = 0;        // cold-start objects installed
     std::uint64_t consistency_checks = 0;
     std::uint64_t misbehaviour_detected = 0;
     double latency_ms = 0.0;             // summed fetch latencies
@@ -52,6 +65,9 @@ class RaUpdater {
 
   RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
             SyncFn sync = {});
+  /// Detaches the owned WAL from the store (the store may outlive this
+  /// updater; it must not be left logging into a freed log).
+  ~RaUpdater();
 
   /// Pulls and applies every feed period in [next_period, upto_period].
   PullResult pull_up_to(std::uint64_t upto_period, TimeMs now, Rng& rng);
@@ -70,9 +86,47 @@ class RaUpdater {
   std::uint64_t next_period() const noexcept { return next_period_; }
   const Totals& totals() const noexcept { return totals_; }
 
+  // ------------------------------------------------------------ durability
+
+  /// WAL record type for the updater's feed cursor: payload is the u64
+  /// period the next pull will fetch, appended after each applied period
+  /// (types < 16 belong to DictionaryStore).
+  static constexpr std::uint8_t kWalPeriodMark = 16;
+
+  /// Switches to durable operation backed by `dir`: opens (or resumes)
+  /// <dir>/wal.log — truncating any torn tail — and attaches it to the
+  /// store. From then on every accepted feed message and every completed
+  /// feed period is logged, fsync-batched every `opts.sync_every` records.
+  void enable_persistence(const std::string& dir,
+                          persist::WalOptions opts = {});
+
+  /// True once enable_persistence()/recover() has been called.
+  bool persistent() const noexcept { return wal_ != nullptr; }
+
+  /// Writes an atomic snapshot of the store (and the feed cursor) into the
+  /// persistence directory and resets the WAL — the O(history) part of a
+  /// restart collapses into this file; only the log tail is replayed.
+  void checkpoint();
+
+  /// Crash-consistent restart: recovers the store from the newest valid
+  /// snapshot plus the WAL tail, restores the feed cursor from the last
+  /// period marker, and stays in durable mode (implies
+  /// enable_persistence(dir)). The next pull_up_to() fetches only periods
+  /// the log had not covered. CAs must be registered with the store first.
+  DictionaryStore::RecoveryReport recover(const std::string& dir,
+                                          persist::WalOptions opts = {});
+
+  /// CDN cold start (§VIII): one GET for the CA's snapshot+delta object,
+  /// installed via DictionaryStore::bootstrap_replica. On success the feed
+  /// cursor fast-forwards past the periods the snapshot covers, so the
+  /// following pull_up_to() fetches only the delta. Returns false when the
+  /// object is missing, malformed, or fails verification.
+  bool bootstrap(const cert::CaId& ca, TimeMs now, Rng& rng);
+
  private:
   void apply_message(const ca::FeedMessage& msg, UnixSeconds now);
   void run_sync(const cert::CaId& ca, UnixSeconds now);
+  void mark_period();
 
   Config config_;
   DictionaryStore* store_;
@@ -80,6 +134,8 @@ class RaUpdater {
   SyncFn sync_;
   std::uint64_t next_period_ = 0;
   Totals totals_;
+  std::string persist_dir_;
+  std::unique_ptr<persist::WriteAheadLog> wal_;
 };
 
 }  // namespace ritm::ra

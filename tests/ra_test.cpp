@@ -210,22 +210,25 @@ TEST(StatusCache, FreshnessStatementInvalidates) {
   EXPECT_EQ(decoded->freshness, ca.freshness_at(1025));
 }
 
-TEST(StatusCache, CapacityBoundedWithWholesaleEviction) {
+TEST(StatusCache, ClockEvictionBoundedByByteBudget) {
   // Serials come off observed certificates (attacker-controlled), so the
   // cache must not grow without bound on high-cardinality traffic.
   auto ca = make_ca(44);
   DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), ca.delta());
   store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+  store.set_status_cache_budget(16 * 1024);  // a few dozen entries
 
-  const std::size_t cap = DictionaryStore::kStatusCacheCapacity;
-  for (std::size_t i = 0; i <= cap; ++i) {
+  for (std::size_t i = 0; i < 4096; ++i) {
     ASSERT_TRUE(
         store.status_bytes_for("CA-1", SerialNumber::from_uint(10 + i, 4)));
   }
-  EXPECT_EQ(store.cache_stats().evictions, 1u);
+  // Entries are evicted one at a time under the byte budget, never
+  // wholesale: far more evictions than invalidations, footprint bounded.
+  EXPECT_GT(store.cache_stats().evictions, 3000u);
+  EXPECT_EQ(store.cache_stats().invalidations, 0u);
   EXPECT_LE(store.memory_bytes(),
-            store.storage_bytes() + cap * 2048);  // bounded, not monotone
+            store.storage_bytes() + 64 * 1024);  // bounded, not monotone
 
   // Post-eviction lookups still serve correct statuses.
   const auto s = store.status_bytes_for("CA-1", SerialNumber::from_uint(1));
@@ -233,6 +236,33 @@ TEST(StatusCache, CapacityBoundedWithWholesaleEviction) {
   auto decoded = dict::RevocationStatus::decode(ByteSpan(*s->bytes));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->proof.type, dict::Proof::Type::presence);
+}
+
+TEST(StatusCache, ClockKeepsHotSerialsWarmAcrossEvictions) {
+  // The CLOCK second-chance bit: a serial touched every round survives a
+  // streaming flood of one-shot serials that would have wiped a wholesale-
+  // eviction cache.
+  auto ca = make_ca(45);
+  DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  store.apply_issuance(ca.revoke({SerialNumber::from_uint(1)}, 1000), 1000);
+  store.set_status_cache_budget(16 * 1024);
+
+  const auto hot = SerialNumber::from_uint(1);
+  ASSERT_TRUE(store.status_bytes_for("CA-1", hot));  // admit the hot serial
+  std::uint64_t hot_hits = 0;
+  for (std::size_t i = 0; i < 2048; ++i) {
+    // One cold probe per round, then the hot serial again.
+    ASSERT_TRUE(
+        store.status_bytes_for("CA-1", SerialNumber::from_uint(100 + i, 4)));
+    const auto before = store.cache_stats().hits;
+    ASSERT_TRUE(store.status_bytes_for("CA-1", hot));
+    hot_hits += store.cache_stats().hits - before;
+  }
+  // The hot serial was re-proven at most a handful of times (only when the
+  // hand happened to land on it with the bit already spent).
+  EXPECT_GT(hot_hits, 2000u);
+  EXPECT_GT(store.cache_stats().evictions, 1500u);
 }
 
 TEST(StatusCache, CrossCaIsolation) {

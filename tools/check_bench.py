@@ -13,18 +13,25 @@ locally the same way:
 
 Only ratio metrics (speedups) are gated: absolute rates vary wildly across
 runner hardware, but "the incremental rebuild is N times faster than the
-seed cost model" and "the warm status cache is N times faster than proving"
-should hold anywhere, so a big drop means a real regression, not a slow VM.
+seed cost model", "the warm status cache is N times faster than proving",
+and "snapshot+WAL restart is N times faster than full feed replay" should
+hold anywhere, so a big drop means a real regression, not a slow VM.
+
+A gated metric missing from the *baseline* is reported as new and skipped
+(the gate starts holding once the refreshed baseline is committed); a gated
+metric missing from the *current* run fails — the bench stopped emitting
+something the gate depends on.
 """
 
 import argparse
 import json
 import sys
 
-# (dotted path, human label) — every entry must exist in both files.
+# (dotted path, human label).
 GATED = [
     ("dict_update.speedup", "incremental dictionary rebuild speedup"),
     ("status_cache.speedup", "warm status-cache speedup"),
+    ("recovery.speedup", "snapshot+WAL restart vs full feed replay"),
 ]
 
 # Reported for trend visibility but not gated: on scalar-only runners the
@@ -36,8 +43,11 @@ INFORMATIONAL = [
 
 
 def lookup(doc, path):
+    """Float at a dotted path, or None when any component is absent."""
     node = doc
     for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
         node = node[key]
     return float(node)
 
@@ -63,6 +73,15 @@ def main():
     for path, label in GATED:
         base = lookup(baseline, path)
         cur = lookup(current, path)
+        if cur is None:
+            print(f"{path:<45} {'-':>10} {'-':>10} {'':>8}  "
+                  f"FAIL (missing from current run)")
+            failed = True
+            continue
+        if base is None:
+            print(f"{path:<45} {'-':>10} {cur:>10.2f} {'':>8}  "
+                  f"new metric (no baseline yet)")
+            continue
         change = (cur - base) / base
         ok = change >= -args.max_drop
         flag = "ok" if ok else f"FAIL (> {args.max_drop:.0%} drop)"
@@ -71,10 +90,9 @@ def main():
             failed = True
 
     for path, label in INFORMATIONAL:
-        try:
-            base = lookup(baseline, path)
-            cur = lookup(current, path)
-        except KeyError:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        if base is None or cur is None:
             continue
         change = (cur - base) / base
         print(f"{path:<45} {base:>10.2f} {cur:>10.2f} {change:>+7.1%}  info")
