@@ -44,7 +44,7 @@ int main() {
           latency.add(fetch.latency_ms);
           if (fetch.found) {
             const double staleness =
-                double(now - fetch.object->published_at) / 1000.0;
+                double(now - fetch.published_at) / 1000.0;
             max_staleness = std::max(max_staleness, staleness);
           }
         }

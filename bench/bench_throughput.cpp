@@ -11,6 +11,7 @@
 // counts) so successive PRs have a machine-readable perf trajectory.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include <string>
@@ -18,6 +19,7 @@
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
 #include "cdn/cdn.hpp"
+#include "cdn/service.hpp"
 #include "client/client.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -25,7 +27,9 @@
 #include "dict/dictionary.hpp"
 #include "dict/sharded.hpp"
 #include "ra/agent.hpp"
+#include "ra/service.hpp"
 #include "ra/updater.hpp"
+#include "svc/tcp.hpp"
 #include "tls/session.hpp"
 
 using namespace ritm;
@@ -524,24 +528,25 @@ int main() {
     const std::string dir = "persist-bench";
     std::filesystem::remove_all(dir);
     const sim::GeoPoint here{40.7, -74.0};
+    cdn::LocalCdn rcdn_rpc(&rcdn);
 
     // Durable RA: pull everything published so far, checkpoint, then pull
     // the 20-period tail that only reaches the WAL.
     ra::DictionaryStore dur_store;
     dur_store.register_ca(rca.id(), rca.public_key(), kDelta);
-    ra::RaUpdater dur({.location = here}, &dur_store, &rcdn);
+    ra::RaUpdater dur({.location = here}, &dur_store, &rcdn_rpc.rpc);
     dur.enable_persistence(dir);
-    dur.pull_up_to(dp.next_period() - 1, from_seconds(now_s), rrng);
+    dur.pull_up_to(dp.next_period() - 1, from_seconds(now_s));
     dur.checkpoint();
     publish_batches(kRecEntries);
     recovery_periods = dp.next_period();
-    dur.pull_up_to(recovery_periods - 1, from_seconds(now_s), rrng);
+    dur.pull_up_to(recovery_periods - 1, from_seconds(now_s));
     dur_store.wal()->sync();  // the crash point
 
     // Restart A: snapshot + WAL tail.
     ra::DictionaryStore rec_store;
     rec_store.register_ca(rca.id(), rca.public_key(), kDelta);
-    ra::RaUpdater rec({.location = here}, &rec_store, &rcdn);
+    ra::RaUpdater rec({.location = here}, &rec_store, &rcdn_rpc.rpc);
     auto start = std::chrono::steady_clock::now();
     const auto report = rec.recover(dir);
     recovery_recover_ms = ms_of(std::chrono::steady_clock::now() - start);
@@ -549,9 +554,9 @@ int main() {
     // Restart B: cold RA replaying the full feed.
     ra::DictionaryStore cold_store;
     cold_store.register_ca(rca.id(), rca.public_key(), kDelta);
-    ra::RaUpdater cold({.location = here}, &cold_store, &rcdn);
+    ra::RaUpdater cold({.location = here}, &cold_store, &rcdn_rpc.rpc);
     start = std::chrono::steady_clock::now();
-    cold.pull_up_to(recovery_periods - 1, from_seconds(now_s), rrng);
+    cold.pull_up_to(recovery_periods - 1, from_seconds(now_s));
     recovery_replay_ms = ms_of(std::chrono::steady_clock::now() - start);
     recovery_speedup = recovery_replay_ms / recovery_recover_ms;
 
@@ -572,6 +577,85 @@ int main() {
                 equal ? "identical" : "DIVERGED!");
     std::filesystem::remove_all(dir);
     if (!equal) return 1;
+  }
+
+  // --- service envelope: single vs batched status RPS over loopback TCP
+  // (the PR 5 headline). Every request rides the real wire protocol through
+  // the epoll server; the batch method amortizes framing + syscalls over
+  // kSvcBatch serials per envelope, fanned out over the status-byte cache.
+  constexpr std::size_t kSvcBatch = 256;
+  double svc_single_rps = 0, svc_batch_rps = 0, svc_batch_speedup = 0;
+  double svc_inproc_single_rps = 0;
+  {
+    constexpr std::size_t kWorkingSet = 512;
+    constexpr std::size_t kSingleOps = 20'000;
+    constexpr std::size_t kBatchOps = 400;  // x kSvcBatch serials each
+    std::vector<cert::SerialNumber> probes;
+    probes.reserve(kWorkingSet);
+    for (std::size_t i = 0; i < kWorkingSet; ++i) {
+      probes.push_back(cert::SerialNumber::from_uint(i * 13 + 5, 4));
+    }
+
+    ra::RaService service(&store);
+    svc::TcpServer server(&service, {.port = 0});
+    svc::TcpClient tcp("127.0.0.1", server.port());
+    svc::InProcessTransport inproc(&service);
+
+    const auto run_single = [&](svc::Transport& t, std::size_t ops) {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < ops; ++i) {
+        svc::Request req;
+        req.method = svc::Method::status_query;
+        req.body = ra::encode_status_query(ca.id(),
+                                           probes[i % kWorkingSet]);
+        const auto r = t.call(req);
+        if (!r.ok()) {
+          std::printf("svc single query failed: %s\n",
+                      svc::to_string(r.response.status));
+          std::exit(1);
+        }
+      }
+      return rate_per_sec(ops, std::chrono::steady_clock::now() - start);
+    };
+
+    // Warm the status cache + the connection, then measure.
+    run_single(tcp, kWorkingSet);
+    svc_single_rps = run_single(tcp, kSingleOps);
+    svc_inproc_single_rps = run_single(inproc, kSingleOps);
+
+    std::vector<cert::SerialNumber> batch(kSvcBatch);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kBatchOps; ++i) {
+      for (std::size_t j = 0; j < kSvcBatch; ++j) {
+        batch[j] = probes[(i * kSvcBatch + j) % kWorkingSet];
+      }
+      svc::Request req;
+      req.method = svc::Method::status_batch;
+      req.body = ra::encode_status_batch(ca.id(), batch);
+      const auto r = tcp.call(req);
+      if (!r.ok()) {
+        std::printf("svc batch query failed: %s\n",
+                    svc::to_string(r.response.status));
+        return 1;
+      }
+    }
+    svc_batch_rps = rate_per_sec(kBatchOps * kSvcBatch,
+                                 std::chrono::steady_clock::now() - start);
+    svc_batch_speedup = svc_batch_rps / svc_single_rps;
+
+    Table ts({"svc status over loopback TCP", "serials/s", "vs single"});
+    ts.add_row({"single-serial envelopes", Table::num(svc_single_rps, 0),
+                "1.0x"});
+    ts.add_row({"batched x" + std::to_string(kSvcBatch),
+                Table::num(svc_batch_rps, 0),
+                Table::num(svc_batch_speedup, 1) + "x"});
+    std::printf("\n== service envelope (n=339,557 dictionary) ==\n%s",
+                ts.render().c_str());
+    std::printf("in-process single RPS: %.0f; server: %llu requests, "
+                "%llu serials served\n",
+                svc_inproc_single_rps,
+                (unsigned long long)server.stats().requests,
+                (unsigned long long)service.stats().serials_served);
   }
 
   // Machine-readable trajectory for future PRs.
@@ -628,6 +712,13 @@ int main() {
                  "    \"full_replay_ms\": %.1f,\n"
                  "    \"snapshot_wal_ms\": %.1f,\n"
                  "    \"speedup\": %.2f\n"
+                 "  },\n"
+                 "  \"svc_status\": {\n"
+                 "    \"batch_size\": %zu,\n"
+                 "    \"tcp_single_rps\": %.0f,\n"
+                 "    \"tcp_batch_rps\": %.0f,\n"
+                 "    \"inproc_single_rps\": %.0f,\n"
+                 "    \"batch_speedup\": %.2f\n"
                  "  }\n"
                  "}\n",
                  non_tls_rate, handshake_rate, validation_rate,
@@ -646,7 +737,9 @@ int main() {
                  rebuild_speedup, (unsigned long long)kRecEntries,
                  (unsigned long long)recovery_periods,
                  (unsigned long long)kRecTailPeriods, recovery_replay_ms,
-                 recovery_recover_ms, recovery_speedup);
+                 recovery_recover_ms, recovery_speedup, kSvcBatch,
+                 svc_single_rps, svc_batch_rps, svc_inproc_single_rps,
+                 svc_batch_speedup);
     std::fclose(f);
     std::printf("wrote BENCH_throughput.json\n");
   }
@@ -663,6 +756,11 @@ int main() {
   if (recovery_speedup < 10.0) {
     std::printf("WARNING: snapshot+WAL restart only %.1fx faster than full "
                 "feed replay (acceptance floor: 10x)\n", recovery_speedup);
+  }
+  if (svc_batch_speedup < 3.0) {
+    std::printf("WARNING: batched status envelopes only %.1fx the RPS of "
+                "single-serial requests (acceptance floor: 3x)\n",
+                svc_batch_speedup);
   }
   return 0;
 }

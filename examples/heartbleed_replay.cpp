@@ -11,7 +11,9 @@
 
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
+#include "ca/sync_service.hpp"
 #include "cdn/cdn.hpp"
+#include "cdn/service.hpp"
 #include "eval/trace.hpp"
 #include "ra/store.hpp"
 #include "ra/updater.hpp"
@@ -55,20 +57,14 @@ int main() {
     store.register_ca(cas.back()->id(), cas.back()->public_key(), kDelta);
   }
 
-  ra::RaUpdater updater(
-      {sim::GeoPoint{47.4, 8.5}}, &store, &cdn,
-      [&](const dict::SyncRequest& req) -> std::optional<dict::SyncResponse> {
-        for (const auto& ca : cas) {
-          if (ca->id() != req.ca) continue;
-          dict::SyncResponse resp;
-          resp.ca = req.ca;
-          resp.entries = ca->dictionary().entries_from(req.have_n + 1);
-          resp.signed_root = ca->signed_root();
-          resp.freshness = ca->freshness_at(to_seconds(loop.now()));
-          return resp;
-        }
-        return std::nullopt;
-      });
+  // Everything the RA talks to is an envelope endpoint (PR 5): the CDN GET
+  // and the sync protocol ride the same versioned transport surface.
+  cdn::LocalCdn cdn_rpc(&cdn);
+  ca::SyncService sync_service;
+  for (const auto& ca : cas) sync_service.add(ca.get());
+  svc::InProcessTransport sync_rpc(&sync_service);
+  ra::RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn_rpc.rpc,
+                        &sync_rpc);
 
   // Revocation events, bucketed per CA per ∆-period.
   const auto events = trace.events(0, tc.days);
@@ -98,7 +94,7 @@ int main() {
     dp.publish(at);
 
     // The RA pulls right after publication.
-    const auto pull = updater.pull_up_to(dp.next_period() - 1, at, rng);
+    const auto pull = updater.pull_up_to(dp.next_period() - 1, at);
     const int day = int(now / 86400);
     day_bytes[day] += pull.bytes;
     day_pulls[day] += 1;

@@ -9,6 +9,9 @@
 #include "ca/authority.hpp"
 #include "client/client.hpp"
 #include "ra/agent.hpp"
+#include "ra/gossip.hpp"
+#include "ra/service.hpp"
+#include "svc/transport.hpp"
 #include "tls/session.hpp"
 
 using namespace ritm;
@@ -65,6 +68,22 @@ int main() {
   const sim::Endpoint se{sim::Endpoint::parse_ip("98.76.54.32"), 443};
   const sim::FlowKey flow{ce.ip, se.ip, ce.port, se.port};
 
+  // The RA also exposes the envelope API (PR 5): the same status the DPI
+  // path will splice into packets can be queried as a versioned RPC —
+  // in-process here, over TCP via tools/ritm_serve in a real deployment.
+  ra::RaService ra_service(&store);
+  svc::InProcessTransport ra_rpc(&ra_service);
+  {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(ca.id(), leaf.serial);
+    const auto r = ra_rpc.call(req);
+    std::printf("envelope pre-check of %s: svc::Status::%s, %zu status "
+                "bytes\n\n",
+                leaf.subject.c_str(), svc::to_string(r.response.status),
+                r.response.body.size());
+  }
+
   std::printf("== Fig. 3: RITM-supported TLS connection ==\n");
 
   std::printf("[t=%lld] client %s -> server %s : ClientHello + RITM ext\n",
@@ -120,6 +139,21 @@ int main() {
               (long long)now, client::to_string(verdict));
   std::printf("    open connections at client: %zu (torn down)\n",
               client.connection_count());
+
+  // A peer RA cross-checks our signed root through the same wire surface
+  // (Method::gossip_roots): consistent replicas exchange roots and find no
+  // conflict; a split view would surface as non-repudiable evidence.
+  std::printf("\n== RA <-> RA gossip root exchange over the envelope ==\n");
+  ra::GossipPool ours(&roots), peers(&roots);
+  ours.observe(*store.root_of(ca.id()));
+  peers.observe(*store.root_of(ca.id()));
+  ra::RaService peer_service(&store, &peers);
+  svc::InProcessTransport peer_rpc(&peer_service);
+  const auto conflicts = ours.exchange_over(peer_rpc);
+  std::printf("exchanged %zu observation(s): %s\n", ours.size(),
+              conflicts && conflicts->empty()
+                  ? "views consistent"
+                  : "SPLIT VIEW / transport failure");
 
   std::printf("\nRA stats: %llu packets, %llu statuses attached, "
               "%llu refreshed\n",

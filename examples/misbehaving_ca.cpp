@@ -9,6 +9,7 @@
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
 #include "cdn/cdn.hpp"
+#include "cdn/service.hpp"
 #include "ra/store.hpp"
 #include "ra/updater.hpp"
 
@@ -92,9 +93,10 @@ int main() {
   cdn::Cdn cdn = cdn::make_global_cdn(0);
   cdn.origin().put(ca::DistributionPoint::root_path(ca.id()),
                    alice.root_of(ca.id())->encode(), 0);
-  ra::RaUpdater bob_updater({sim::GeoPoint{47.4, 8.5}}, &bob, &cdn);
+  cdn::LocalCdn cdn_rpc(&cdn);
+  ra::RaUpdater bob_updater({sim::GeoPoint{47.4, 8.5}}, &bob, &cdn_rpc.rpc);
   const auto evidence2 =
-      bob_updater.consistency_check(ca.id(), from_seconds(now), rng);
+      bob_updater.consistency_check(ca.id(), from_seconds(now));
   std::printf("edge-based consistency check: %s\n",
               evidence2 ? "split view detected" : "clean");
   return evidence2 ? 0 : 1;

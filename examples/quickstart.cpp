@@ -9,7 +9,9 @@
 #include "ca/authority.hpp"
 #include "client/client.hpp"
 #include "common/bytes.hpp"
+#include "ra/service.hpp"
 #include "ra/store.hpp"
+#include "svc/transport.hpp"
 
 using namespace ritm;
 
@@ -70,24 +72,45 @@ int main() {
               (unsigned long long)issuance1.signed_root.n);
   now += 3 * kDelta;
 
-  // --- 5. The RA proves (non-)revocation; the client verifies.
+  // --- 5. The RA serves statuses through the envelope API (PR 5): every
+  // query is a versioned svc::Request over a transport — in-process here,
+  // svc::TcpServer in a real deployment (tools/ritm_serve.cpp) — and the
+  // client validates the returned payload bytes.
   cert::TrustStore roots;
   roots.add(ca.id(), ca.public_key());
   client::RitmClient client({.delta = kDelta, .expect_ritm = true,
                              .require_server_confirmation = false},
                             roots);
+  ra::RaService ra_service(&store);
+  svc::InProcessTransport rpc(&ra_service);
 
-  const auto good = *store.status_for(ca.id(), leaf.serial);
+  const auto query = [&](const cert::SerialNumber& serial) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(ca.id(), serial);
+    return rpc.call(req);
+  };
+
+  const auto good = query(leaf.serial);
   std::printf("\nvalid certificate:   status %zu bytes -> %s\n",
-              good.wire_size(),
-              client::to_string(client.validate_status(good, leaf, now)));
+              good.response.body.size(),
+              client::to_string(client.validate_status_bytes(
+                  ByteSpan(good.response.body), leaf, now)));
 
   // --- 6. Revoke the server's certificate and watch the verdict flip.
   store.apply_issuance(ca.revoke({leaf.serial}, now + kDelta), now + kDelta);
-  const auto bad = *store.status_for(ca.id(), leaf.serial);
+  const auto bad = query(leaf.serial);
   std::printf("revoked certificate: status %zu bytes -> %s\n",
-              bad.wire_size(),
-              client::to_string(client.validate_status(bad, leaf,
-                                                       now + kDelta)));
+              bad.response.body.size(),
+              client::to_string(client.validate_status_bytes(
+                  ByteSpan(bad.response.body), leaf, now + kDelta)));
+
+  // --- 7. The error taxonomy travels the same wire: an unknown CA is a
+  // typed status code, not a silent nullopt.
+  svc::Request unknown;
+  unknown.method = svc::Method::status_query;
+  unknown.body = ra::encode_status_query("NotARealCA", leaf.serial);
+  std::printf("unknown CA query:    -> svc::Status::%s\n",
+              svc::to_string(rpc.call(unknown).response.status));
   return 0;
 }

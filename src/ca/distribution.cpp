@@ -19,21 +19,25 @@ void DistributionPoint::register_ca(const cert::CaId& ca,
   keys_[ca] = key;
 }
 
-bool DistributionPoint::submit(FeedMessage msg) {
+svc::Status DistributionPoint::submit(FeedMessage msg) {
   const auto key_it = keys_.find(msg.ca());
   if (key_it == keys_.end()) {
     ++rejected_;
-    return false;
+    return svc::Status::unknown_ca;
   }
   if (msg.type == FeedMessage::Type::issuance) {
-    if (!msg.issuance || !msg.issuance->signed_root.verify(key_it->second)) {
+    if (!msg.issuance) {
       ++rejected_;
-      return false;
+      return svc::Status::malformed;
+    }
+    if (!msg.issuance->signed_root.verify(key_it->second)) {
+      ++rejected_;
+      return svc::Status::bad_signature;
     }
     latest_roots_[msg.ca()] = msg.issuance->signed_root;
   }
   pending_.push_back(std::move(msg));
-  return true;
+  return svc::Status::ok;
 }
 
 void DistributionPoint::publish(TimeMs now) {
@@ -45,19 +49,23 @@ void DistributionPoint::publish(TimeMs now) {
   ++next_period_;
 }
 
-bool DistributionPoint::publish_cold_start(const ColdStartObject& obj,
-                                           TimeMs now) {
+svc::Status DistributionPoint::publish_cold_start(const ColdStartObject& obj,
+                                                  TimeMs now) {
   const auto key_it = keys_.find(obj.ca);
-  if (key_it == keys_.end() || obj.signed_root.ca != obj.ca ||
+  if (key_it == keys_.end()) {
+    ++rejected_;
+    return svc::Status::unknown_ca;
+  }
+  if (obj.signed_root.ca != obj.ca ||
       !obj.signed_root.verify(key_it->second)) {
     ++rejected_;
-    return false;
+    return svc::Status::bad_signature;
   }
   // The snapshot itself is not replayed here — the RA checks its recomputed
   // root against the signed root on restore, so a tampered snapshot can
   // only fail the bootstrap, never install state.
   cdn_->origin().put(cold_start_path(obj.ca), obj.encode(), now);
-  return true;
+  return svc::Status::ok;
 }
 
 std::string DistributionPoint::root_path(const cert::CaId& ca) {

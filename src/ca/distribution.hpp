@@ -12,6 +12,7 @@
 #include "ca/feed.hpp"
 #include "cdn/cdn.hpp"
 #include "common/time.hpp"
+#include "svc/envelope.hpp"
 
 namespace ritm::ca {
 
@@ -22,8 +23,10 @@ class DistributionPoint {
   void register_ca(const cert::CaId& ca, const crypto::PublicKey& key);
 
   /// Accepts a message into the pending feed. Issuances are rejected unless
-  /// their signed root verifies against the registered CA key.
-  bool submit(FeedMessage msg);
+  /// their signed root verifies against the registered CA key. The returned
+  /// code says why (unknown_ca / bad_signature / malformed) — the same
+  /// taxonomy every wire response uses.
+  svc::Status submit(FeedMessage msg);
 
   /// Publishes the pending feed as the object for the next period and
   /// updates the per-CA root objects. Call once per ∆.
@@ -39,7 +42,7 @@ class DistributionPoint {
   /// root + freshness) at cold_start_path(ca) — the one-GET bootstrap for a
   /// fresh RA (§VIII, PR 4). Rejected (and counted) unless the CA is
   /// registered and the embedded signed root verifies against its key.
-  bool publish_cold_start(const ColdStartObject& obj, TimeMs now);
+  svc::Status publish_cold_start(const ColdStartObject& obj, TimeMs now);
 
   std::uint64_t rejected_submissions() const noexcept { return rejected_; }
 

@@ -1,0 +1,44 @@
+// The feed sync endpoint (paper §III: "the RA contacts an edge server
+// specifying the number of valid consecutive revocations it has observed")
+// as an envelope service. Replaces the RaUpdater::SyncFn std::function
+// hook: the server side is backed by the CAs' live dictionaries, the RA
+// reaches it through any svc::Transport.
+#pragma once
+
+#include <map>
+
+#include "ca/authority.hpp"
+#include "svc/service.hpp"
+
+namespace ritm::ca {
+
+/// Body layout for Method::feed_sync (shared with ra::RaUpdater):
+///
+/// Request body:  u64 now_s | dict::SyncRequest encoding
+/// Response body: dict::SyncResponse encoding
+Bytes encode_sync_request(const dict::SyncRequest& req, UnixSeconds now);
+
+/// The one decoder of the feed_sync request body — every server-side
+/// handler (SyncService, the legacy-hook adapter in ra/updater.cpp) parses
+/// through here so the grammar cannot drift between them.
+struct DecodedSyncRequest {
+  UnixSeconds now = 0;
+  dict::SyncRequest request;
+};
+std::optional<DecodedSyncRequest> decode_sync_request(ByteSpan body);
+
+class SyncService final : public svc::Service {
+ public:
+  SyncService() = default;
+
+  /// Registers a CA whose dictionary answers sync requests. The authority
+  /// must outlive the service.
+  void add(const CertificationAuthority* ca);
+
+  svc::ServeResult handle(const svc::Request& req) override;
+
+ private:
+  std::map<cert::CaId, const CertificationAuthority*> cas_;
+};
+
+}  // namespace ritm::ca

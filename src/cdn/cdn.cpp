@@ -81,7 +81,9 @@ FetchResult EdgeServer::serve(const std::string& path, TimeMs now,
 
   result.found = true;
   result.bytes = obj->data.size();
-  result.object = obj;
+  result.data = obj->data;  // owned: survives republish / cache refresh
+  result.version = obj->version;
+  result.published_at = obj->published_at;
   result.latency_ms =
       path_model_.fetch_ms(client_rtt, obj->data.size()) + edge_internal_ms;
   stats_.bytes_served += obj->data.size();

@@ -62,13 +62,19 @@ struct EdgeStats {
   std::uint64_t origin_bytes = 0;       // origin -> edge
 };
 
-/// What a client (RA) observes for one GET.
+/// What a client (RA) observes for one GET. The payload is *owned*: a
+/// republish (`Origin::put`) or edge cache refresh overlapping a pull can
+/// never mutate or free bytes a caller is still holding — the interior
+/// `const Object*` this struct used to carry made that a real hazard
+/// (regression-tested in tests/cdn_test.cpp).
 struct FetchResult {
   bool found = false;
   bool cache_hit = false;
   std::size_t bytes = 0;
   double latency_ms = 0.0;
-  const Object* object = nullptr;
+  Bytes data;                    // owned copy of the object payload
+  std::uint64_t version = 0;     // Object::version at serve time
+  TimeMs published_at = 0;       // Object::published_at at serve time
 };
 
 class EdgeServer {

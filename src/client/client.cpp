@@ -22,6 +22,14 @@ const char* to_string(Verdict v) noexcept {
 RitmClient::RitmClient(Config config, cert::TrustStore roots)
     : config_(config), roots_(std::move(roots)) {}
 
+Verdict RitmClient::validate_status_bytes(ByteSpan status_bytes,
+                                          const cert::Certificate& leaf,
+                                          UnixSeconds now) const {
+  const auto status = dict::RevocationStatus::decode(status_bytes);
+  if (!status) return Verdict::missing_status;
+  return validate_status(*status, leaf, now);
+}
+
 Verdict RitmClient::validate_status(const dict::RevocationStatus& status,
                                     const cert::Certificate& leaf,
                                     UnixSeconds now) const {

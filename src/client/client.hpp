@@ -70,6 +70,15 @@ class RitmClient {
                           const cert::Certificate& leaf,
                           UnixSeconds now) const;
 
+  /// Envelope-API convenience (PR 5): decodes a status_query /
+  /// status_batch response payload (a dict::RevocationStatus encoding, as
+  /// served by ra::RaService) and validates it. Undecodable bytes are
+  /// Verdict::missing_status — a served status that cannot be parsed
+  /// protects nothing.
+  Verdict validate_status_bytes(ByteSpan status_bytes,
+                                const cert::Certificate& leaf,
+                                UnixSeconds now) const;
+
   /// Processes the server's first flight: strips statuses, validates chain
   /// and revocation status. On success the connection becomes tracked
   /// (keyed by the flow) for mid-connection revalidation.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ra/service.hpp"
+
 namespace ritm::ra {
 
 GossipPool::GossipPool(const cert::TrustStore* keys) : keys_(keys) {
@@ -41,6 +43,51 @@ std::vector<MisbehaviourEvidence> GossipPool::exchange(GossipPool& peer) {
     if (auto e = peer.observe(root)) evidence.push_back(std::move(*e));
   }
   return evidence;
+}
+
+std::optional<std::vector<MisbehaviourEvidence>> GossipPool::exchange_over(
+    svc::Transport& peer) {
+  svc::Request req;
+  req.method = svc::Method::gossip_roots;
+  req.body = encode_gossip_roots(roots());
+  const svc::CallResult result = peer.call(req);
+  if (!result.ok()) return std::nullopt;
+  const auto reply = decode_gossip_reply(ByteSpan(result.response.body));
+  if (!reply) return std::nullopt;
+
+  // Conflicts the peer found while observing our roots, plus conflicts we
+  // find observing theirs — the same union exchange() computes directly.
+  // Peer-supplied evidence is hostile input: a lying peer must not be able
+  // to frame an honest CA, so each pair is re-checked against the exact
+  // rule observe() enforces — both roots signed by the CA's registered
+  // key, same size, different root hash — before it is believed.
+  std::vector<MisbehaviourEvidence> evidence;
+  for (const auto& e : reply->evidence) {
+    if (e.ours.ca != e.theirs.ca || e.ours.n != e.theirs.n ||
+        e.ours.root == e.theirs.root) {
+      ++forged_;
+      continue;
+    }
+    const auto key = keys_->find(e.ours.ca);
+    if (!key || !e.ours.verify(*key) || !e.theirs.verify(*key)) {
+      ++forged_;
+      continue;
+    }
+    evidence.push_back(e);
+  }
+  for (const auto& root : reply->roots) {
+    if (auto e = observe(root)) evidence.push_back(std::move(*e));
+  }
+  return evidence;
+}
+
+std::vector<dict::SignedRoot> GossipPool::roots() const {
+  std::vector<dict::SignedRoot> all;
+  all.reserve(size());
+  for (const auto& [ca, by_n] : seen_) {
+    for (const auto& [n, root] : by_n) all.push_back(root);
+  }
+  return all;
 }
 
 std::size_t GossipPool::size() const noexcept {

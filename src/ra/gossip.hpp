@@ -15,6 +15,7 @@
 #include "cert/certificate.hpp"
 #include "dict/signed_root.hpp"
 #include "ra/store.hpp"
+#include "svc/transport.hpp"
 
 namespace ritm::ra {
 
@@ -34,6 +35,18 @@ class GossipPool {
   /// union of observations; all conflicts discovered either way are
   /// returned.
   std::vector<MisbehaviourEvidence> exchange(GossipPool& peer);
+
+  /// The same bidirectional exchange over the envelope API
+  /// (Method::gossip_roots): ships every local observation to the peer RA
+  /// behind `peer`, observes the roots it returns, and merges the
+  /// conflicts found on either side — byte-level equivalent of exchange()
+  /// for a peer reached through a socket. Returns nullopt on transport or
+  /// protocol failure (local observations are unaffected).
+  std::optional<std::vector<MisbehaviourEvidence>> exchange_over(
+      svc::Transport& peer);
+
+  /// Every observation currently held (one per (CA, n) pair).
+  std::vector<dict::SignedRoot> roots() const;
 
   /// Observations recorded (one per (CA, n) pair).
   std::size_t size() const noexcept;

@@ -1,0 +1,206 @@
+#include "ra/service.hpp"
+
+#include <stdexcept>
+
+#include "common/io.hpp"
+
+namespace ritm::ra {
+
+namespace {
+
+void write_ca_serial(Bytes& out, const cert::CaId& ca, ByteSpan serial) {
+  ByteWriter w(out);
+  w.var8(ByteSpan(reinterpret_cast<const std::uint8_t*>(ca.data()),
+                  ca.size()));
+  w.var8(serial);
+}
+
+}  // namespace
+
+Bytes encode_status_query(const cert::CaId& ca,
+                          const cert::SerialNumber& serial) {
+  Bytes body;
+  write_ca_serial(body, ca, ByteSpan(serial.value));
+  return body;
+}
+
+Bytes encode_status_batch(const cert::CaId& ca,
+                          const std::vector<cert::SerialNumber>& serials) {
+  Bytes body;
+  ByteWriter w(body);
+  w.var8(ByteSpan(reinterpret_cast<const std::uint8_t*>(ca.data()),
+                  ca.size()));
+  w.u32(static_cast<std::uint32_t>(serials.size()));
+  for (const auto& s : serials) w.var8(ByteSpan(s.value));
+  return body;
+}
+
+std::optional<std::vector<Bytes>> decode_status_batch_reply(ByteSpan body) {
+  ByteReader r(body);
+  const auto count = r.try_u32();
+  if (!count) return std::nullopt;
+  // A wire-supplied count is hostile input: each element needs at least a
+  // var24 length prefix, so any count past remaining/3 cannot decode —
+  // reject it before reserve() turns it into a giant allocation.
+  if (*count > r.remaining() / 3) return std::nullopt;
+  std::vector<Bytes> statuses;
+  statuses.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto bytes = r.try_var24();
+    if (!bytes) return std::nullopt;
+    statuses.push_back(std::move(*bytes));
+  }
+  if (!r.done()) return std::nullopt;
+  return statuses;
+}
+
+Bytes encode_gossip_roots(const std::vector<dict::SignedRoot>& roots) {
+  Bytes body;
+  ByteWriter w(body);
+  w.u32(static_cast<std::uint32_t>(roots.size()));
+  for (const auto& root : roots) w.var16(ByteSpan(root.encode()));
+  return body;
+}
+
+std::optional<GossipReply> decode_gossip_reply(ByteSpan body) {
+  ByteReader r(body);
+  GossipReply reply;
+  const auto root_count = r.try_u32();
+  if (!root_count) return std::nullopt;
+  if (*root_count > r.remaining() / 2) return std::nullopt;  // var16 each
+  reply.roots.reserve(*root_count);
+  for (std::uint32_t i = 0; i < *root_count; ++i) {
+    const auto bytes = r.try_var16();
+    if (!bytes) return std::nullopt;
+    auto root = dict::SignedRoot::decode(ByteSpan(*bytes));
+    if (!root) return std::nullopt;
+    reply.roots.push_back(std::move(*root));
+  }
+  const auto evidence_count = r.try_u32();
+  if (!evidence_count) return std::nullopt;
+  if (*evidence_count > r.remaining() / 4) return std::nullopt;  // 2x var16
+  reply.evidence.reserve(*evidence_count);
+  for (std::uint32_t i = 0; i < *evidence_count; ++i) {
+    const auto ours = r.try_var16();
+    if (!ours) return std::nullopt;
+    const auto theirs = r.try_var16();
+    if (!theirs) return std::nullopt;
+    auto our_root = dict::SignedRoot::decode(ByteSpan(*ours));
+    auto their_root = dict::SignedRoot::decode(ByteSpan(*theirs));
+    if (!our_root || !their_root) return std::nullopt;
+    reply.evidence.push_back({std::move(*our_root), std::move(*their_root)});
+  }
+  if (!r.done()) return std::nullopt;
+  return reply;
+}
+
+RaService::RaService(const DictionaryStore* store, GossipPool* gossip)
+    : store_(store), gossip_(gossip) {
+  if (store_ == nullptr) throw std::invalid_argument("RaService: null store");
+}
+
+svc::ServeResult RaService::handle(const svc::Request& req) {
+  svc::ServeResult out;
+  switch (req.method) {
+    case svc::Method::status_query: out.response = status_query(req); break;
+    case svc::Method::status_batch: out.response = status_batch(req); break;
+    case svc::Method::gossip_roots: out.response = gossip_roots(req); break;
+    default:
+      out.response = svc::reject(req, svc::Status::unknown_method);
+      break;
+  }
+  if (out.response.status != svc::Status::ok) ++stats_.rejected;
+  return out;
+}
+
+svc::Response RaService::status_query(const svc::Request& req) {
+  ++stats_.single_queries;
+  ByteReader r(ByteSpan(req.body));
+  const auto ca_bytes = r.try_var8();
+  const auto serial_bytes = r.try_var8();
+  if (!ca_bytes || !serial_bytes || serial_bytes->empty() || !r.done()) {
+    return svc::reject(req, svc::Status::malformed);
+  }
+  const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+  if (!store_->knows(ca)) return svc::reject(req, svc::Status::unknown_ca);
+  const auto cached =
+      store_->status_bytes_for(ca, cert::SerialNumber{*serial_bytes});
+  if (!cached) return svc::reject(req, svc::Status::unavailable);
+
+  svc::Response resp;
+  resp.request_id = req.request_id;
+  resp.body = *cached->bytes;
+  ++stats_.serials_served;
+  return resp;
+}
+
+svc::Response RaService::status_batch(const svc::Request& req) {
+  ++stats_.batch_queries;
+  ByteReader r(ByteSpan(req.body));
+  const auto ca_bytes = r.try_var8();
+  const auto count = r.try_u32();
+  if (!ca_bytes || !count) return svc::reject(req, svc::Status::malformed);
+  if (*count > kMaxBatchSerials) {
+    // The response would blow the frame limit; fail the envelope up front
+    // instead of building a reply the requester must reject.
+    return svc::reject(req, svc::Status::frame_too_large);
+  }
+  const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+  if (!store_->knows(ca)) return svc::reject(req, svc::Status::unknown_ca);
+
+  svc::Response resp;
+  resp.request_id = req.request_id;
+  ByteWriter w(resp.body);
+  w.u32(*count);
+  cert::SerialNumber serial;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto serial_bytes = r.try_var8();
+    if (!serial_bytes || serial_bytes->empty()) {
+      return svc::reject(req, svc::Status::malformed);
+    }
+    serial.value = *serial_bytes;
+    // Each serial fans out over the epoch-versioned status-byte cache —
+    // the same warm path the DPI pipeline uses, amortized N per envelope.
+    const auto cached = store_->status_bytes_for(ca, serial);
+    if (!cached) return svc::reject(req, svc::Status::unavailable);
+    w.var24(ByteSpan(*cached->bytes));
+  }
+  if (!r.done()) return svc::reject(req, svc::Status::malformed);
+  stats_.serials_served += *count;
+  return resp;
+}
+
+svc::Response RaService::gossip_roots(const svc::Request& req) {
+  ++stats_.gossip_exchanges;
+  if (gossip_ == nullptr) return svc::reject(req, svc::Status::unavailable);
+  ByteReader r(ByteSpan(req.body));
+  const auto count = r.try_u32();
+  if (!count) return svc::reject(req, svc::Status::malformed);
+
+  // Snapshot our observations *before* absorbing the peer's, mirroring the
+  // symmetric copy-snapshot semantics of GossipPool::exchange.
+  const std::vector<dict::SignedRoot> ours = gossip_->roots();
+
+  std::vector<MisbehaviourEvidence> found;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto bytes = r.try_var16();
+    if (!bytes) return svc::reject(req, svc::Status::malformed);
+    const auto root = dict::SignedRoot::decode(ByteSpan(*bytes));
+    if (!root) return svc::reject(req, svc::Status::malformed);
+    if (auto e = gossip_->observe(*root)) found.push_back(std::move(*e));
+  }
+  if (!r.done()) return svc::reject(req, svc::Status::malformed);
+
+  svc::Response resp;
+  resp.request_id = req.request_id;
+  resp.body = encode_gossip_roots(ours);  // same shape as the request side
+  ByteWriter w(resp.body);
+  w.u32(static_cast<std::uint32_t>(found.size()));
+  for (const auto& e : found) {
+    w.var16(ByteSpan(e.ours.encode()));
+    w.var16(ByteSpan(e.theirs.encode()));
+  }
+  return resp;
+}
+
+}  // namespace ritm::ra

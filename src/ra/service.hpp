@@ -1,0 +1,78 @@
+// The RA's serving endpoint: per-flow status queries (single and batched)
+// and the gossip root exchange, as one envelope service over the
+// epoch-versioned DictionaryStore. This is the surface an RA exposes to
+// clients and peer RAs — in-process for the simulated deployments,
+// svc::TcpServer for real sockets (tools/ritm_serve.cpp).
+//
+// The batched method is the throughput path: N serials ride one envelope
+// and fan out over the status-byte cache, so the per-request framing,
+// dispatch, and (on TCP) syscall cost is paid once per batch instead of
+// once per serial (`svc_status.batch_speedup` in BENCH_throughput.json).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ra/gossip.hpp"
+#include "ra/store.hpp"
+#include "svc/service.hpp"
+
+namespace ritm::ra {
+
+// Body layouts (shared by service, clients, and tools):
+//
+//   status_query  request:  var8 ca | var8 serial
+//                 response: dict::RevocationStatus encoding
+//   status_batch  request:  var8 ca | u32 count | count x var8 serial
+//                 response: u32 count | count x var24 status encoding
+//   gossip_roots  request:  u32 count | count x var16 SignedRoot
+//                 response: u32 count | count x var16 SignedRoot (ours),
+//                           u32 count | count x (var16, var16) evidence
+/// Ceiling on serials per status_batch envelope: at the paper's 500-900 B
+/// per status, anything larger would push the *response* past the
+/// transport frame limit (svc::kMaxFrameBytes) and be rejected by the
+/// requester's own decoder. Oversized batches answer frame_too_large.
+inline constexpr std::uint32_t kMaxBatchSerials = 32'768;
+
+Bytes encode_status_query(const cert::CaId& ca,
+                          const cert::SerialNumber& serial);
+Bytes encode_status_batch(const cert::CaId& ca,
+                          const std::vector<cert::SerialNumber>& serials);
+std::optional<std::vector<Bytes>> decode_status_batch_reply(ByteSpan body);
+
+Bytes encode_gossip_roots(const std::vector<dict::SignedRoot>& roots);
+struct GossipReply {
+  std::vector<dict::SignedRoot> roots;          // the peer's observations
+  std::vector<MisbehaviourEvidence> evidence;   // conflicts the peer found
+};
+std::optional<GossipReply> decode_gossip_reply(ByteSpan body);
+
+class RaService final : public svc::Service {
+ public:
+  /// `gossip` may be null: gossip_roots then answers `unavailable`. Both
+  /// pointers must outlive the service.
+  explicit RaService(const DictionaryStore* store,
+                     GossipPool* gossip = nullptr);
+
+  svc::ServeResult handle(const svc::Request& req) override;
+
+  struct Stats {
+    std::uint64_t single_queries = 0;
+    std::uint64_t batch_queries = 0;
+    std::uint64_t serials_served = 0;
+    std::uint64_t gossip_exchanges = 0;
+    std::uint64_t rejected = 0;  // non-ok responses
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  svc::Response status_query(const svc::Request& req);
+  svc::Response status_batch(const svc::Request& req);
+  svc::Response gossip_roots(const svc::Request& req);
+
+  const DictionaryStore* store_;
+  GossipPool* gossip_;
+  Stats stats_;
+};
+
+}  // namespace ritm::ra

@@ -36,6 +36,7 @@
 #include "dict/messages.hpp"
 #include "dict/signed_root.hpp"
 #include "persist/recovery.hpp"
+#include "svc/envelope.hpp"
 
 namespace ritm::ra {
 
@@ -46,15 +47,12 @@ struct MisbehaviourEvidence {
   dict::SignedRoot theirs;
 };
 
-enum class ApplyResult {
-  ok,
-  unknown_ca,
-  bad_signature,
-  stale_root,       // older timestamp/size than what we already verified
-  root_mismatch,    // replay produced a different root: CA lied or reordered
-  gap_detected,     // issuance skips numbers: we missed updates, need sync
-  bad_freshness,    // statement does not hash into the committed anchor
-};
+/// The apply/acceptance verdicts are the upper range of the service-wide
+/// svc::Status taxonomy (PR 5): unknown_ca / bad_signature / stale_root /
+/// root_mismatch / gap_detected / bad_freshness, with svc::Status::ok for
+/// acceptance — so a rejection reason travels unchanged from the replica
+/// acceptance rule to the wire response to the Totals breakdown.
+using ApplyResult = svc::Status;
 
 class DictionaryStore {
  public:

@@ -3,16 +3,89 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "ca/sync_service.hpp"
+#include "cdn/service.hpp"
 #include "persist/recovery.hpp"
 
 namespace ritm::ra {
 
+namespace {
+
+/// Adapter keeping the deprecated SyncFn constructor alive: a legacy hook
+/// served through the real envelope dispatch, so even the compatibility
+/// path exercises the wire protocol.
+class SyncFnService final : public svc::Service {
+ public:
+  explicit SyncFnService(RaUpdater::SyncFn fn) : fn_(std::move(fn)) {}
+
+  svc::ServeResult handle(const svc::Request& req) override {
+    svc::ServeResult out;
+    if (req.method != svc::Method::feed_sync) {
+      out.response = svc::reject(req, svc::Status::unknown_method);
+      return out;
+    }
+    const auto decoded = ca::decode_sync_request(ByteSpan(req.body));
+    if (!decoded) {
+      out.response = svc::reject(req, svc::Status::malformed);
+      return out;
+    }
+    const auto resp = fn_(decoded->request);
+    if (!resp) {
+      out.response = svc::reject(req, svc::Status::unavailable);
+      return out;
+    }
+    out.response.request_id = req.request_id;
+    resp->encode_into(out.response.body);
+    return out;
+  }
+
+ private:
+  RaUpdater::SyncFn fn_;
+};
+
+}  // namespace
+
+RaUpdater::RaUpdater(Config config, DictionaryStore* store,
+                     svc::Transport* cdn_rpc, svc::Transport* sync_rpc)
+    : config_(config),
+      store_(store),
+      cdn_rpc_(cdn_rpc),
+      sync_rpc_(sync_rpc) {
+  if (store_ == nullptr || cdn_rpc_ == nullptr) {
+    throw std::invalid_argument("RaUpdater: null store or cdn transport");
+  }
+}
+
 RaUpdater::RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
                      SyncFn sync)
-    : config_(config), store_(store), cdn_(cdn), sync_(std::move(sync)) {
-  if (store_ == nullptr || cdn_ == nullptr) {
+    : config_(config), store_(store) {
+  if (store_ == nullptr || cdn == nullptr) {
     throw std::invalid_argument("RaUpdater: null store or cdn");
   }
+  owned_cdn_service_ = std::make_unique<cdn::CdnService>(cdn);
+  owned_cdn_rpc_ =
+      std::make_unique<svc::InProcessTransport>(owned_cdn_service_.get());
+  cdn_rpc_ = owned_cdn_rpc_.get();
+  if (sync) {
+    owned_sync_service_ = std::make_unique<SyncFnService>(std::move(sync));
+    owned_sync_rpc_ =
+        std::make_unique<svc::InProcessTransport>(owned_sync_service_.get());
+    sync_rpc_ = owned_sync_rpc_.get();
+  }
+}
+
+void RaUpdater::count_rejected(svc::Status code) {
+  ++totals_.rejected;
+  ++totals_.rejected_by[code];
+}
+
+svc::CallResult RaUpdater::fetch_object(const std::string& path, TimeMs now) {
+  svc::Request req;
+  req.method = svc::Method::cdn_get;
+  req.body = cdn::encode_get_request(path, now, config_.location);
+  svc::CallResult result = cdn_rpc_->call(req);
+  totals_.latency_ms += result.latency_ms;
+  return result;
 }
 
 void RaUpdater::apply_message(const ca::FeedMessage& msg, UnixSeconds now) {
@@ -38,44 +111,73 @@ void RaUpdater::apply_message(const ca::FeedMessage& msg, UnixSeconds now) {
   if (result == ApplyResult::ok) {
     ++totals_.applied_ok;
   } else {
-    ++totals_.rejected;
+    count_rejected(result);
   }
 }
 
 void RaUpdater::run_sync(const cert::CaId& ca, UnixSeconds now) {
-  if (!sync_) return;
+  if (sync_rpc_ == nullptr) return;
   ++totals_.syncs;
-  const dict::SyncRequest req{ca, store_->have_n(ca)};
-  auto resp = sync_(req);
-  if (!resp) return;
+  svc::Request req;
+  req.method = svc::Method::feed_sync;
+  req.body = ca::encode_sync_request({ca, store_->have_n(ca)}, now);
+  const svc::CallResult result = sync_rpc_->call(req);
+  totals_.latency_ms += result.latency_ms;
+  if (!result.ok()) {
+    count_rejected(result.error());
+    return;
+  }
+  const auto resp = dict::SyncResponse::decode(ByteSpan(result.response.body));
+  if (!resp) {
+    count_rejected(svc::Status::malformed);
+    return;
+  }
   totals_.sync_bytes += resp->wire_size();
-  if (store_->apply_sync(*resp, now) == ApplyResult::ok) {
+  const ApplyResult applied = store_->apply_sync(*resp, now);
+  if (applied == ApplyResult::ok) {
     ++totals_.applied_ok;
   } else {
-    ++totals_.rejected;
+    count_rejected(applied);
   }
 }
 
 RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
-                                            TimeMs now, Rng& rng) {
+                                            TimeMs now) {
   PullResult result;
   const UnixSeconds now_s = to_seconds(now);
   while (next_period_ <= upto_period) {
-    const auto fetch =
-        cdn_->get(ca::feed_path(next_period_), now, config_.location, rng);
+    const auto fetch = fetch_object(ca::feed_path(next_period_), now);
     ++totals_.pulls;
-    totals_.latency_ms += fetch.latency_ms;
     result.latency_ms += fetch.latency_ms;
-    if (fetch.found) {
-      result.bytes += fetch.bytes;
-      totals_.bytes += fetch.bytes;
-      const auto feed = ca::decode_feed(ByteSpan(fetch.object->data));
-      if (feed) {
-        for (const auto& msg : *feed) {
-          apply_message(msg, now_s);
-          ++result.messages;
+    if (fetch.ok()) {
+      const auto payload =
+          cdn::decode_get_response(ByteSpan(fetch.response.body));
+      if (payload) {
+        result.bytes += payload->data.size();
+        totals_.bytes += payload->data.size();
+        const auto feed = ca::decode_feed(ByteSpan(payload->data));
+        if (feed) {
+          for (const auto& msg : *feed) {
+            apply_message(msg, now_s);
+            ++result.messages;
+          }
+        } else {
+          count_rejected(svc::Status::malformed);  // feed bytes corrupt
+          break;
         }
+      } else {
+        count_rejected(svc::Status::malformed);  // envelope body corrupt
+        break;
       }
+    } else if (fetch.error() != svc::Status::not_found) {
+      // A missing period object is normal (nothing published yet). Any
+      // other failure — transport error, version skew, a served error, or
+      // (above) a body that will not decode — must NOT advance the cursor:
+      // marking the period covered in the WAL would skip its feed forever.
+      // Count the failure, stall visibly, and retry the same period on the
+      // next pull instead.
+      count_rejected(fetch.error());
+      break;
     }
     ++next_period_;
     mark_period();  // the log now covers everything below next_period_
@@ -143,19 +245,20 @@ DictionaryStore::RecoveryReport RaUpdater::recover(const std::string& dir,
   return report;
 }
 
-bool RaUpdater::bootstrap(const cert::CaId& ca, TimeMs now, Rng& rng) {
-  const auto fetch =
-      cdn_->get(ca::cold_start_path(ca), now, config_.location, rng);
-  totals_.latency_ms += fetch.latency_ms;
-  if (!fetch.found) return false;
-  totals_.bytes += fetch.bytes;
-  const auto obj = ca::ColdStartObject::decode(ByteSpan(fetch.object->data));
-  if (!obj || obj->ca != ca) return false;
-  if (store_->bootstrap_replica(ca, ByteSpan(obj->dict_snapshot),
-                                obj->signed_root, obj->freshness,
-                                to_seconds(now)) != ApplyResult::ok) {
-    ++totals_.rejected;
-    return false;
+svc::Status RaUpdater::bootstrap(const cert::CaId& ca, TimeMs now) {
+  const auto fetch = fetch_object(ca::cold_start_path(ca), now);
+  if (!fetch.ok()) return fetch.error();
+  const auto payload = cdn::decode_get_response(ByteSpan(fetch.response.body));
+  if (!payload) return svc::Status::malformed;
+  totals_.bytes += payload->data.size();
+  const auto obj = ca::ColdStartObject::decode(ByteSpan(payload->data));
+  if (!obj || obj->ca != ca) return svc::Status::malformed;
+  const ApplyResult applied = store_->bootstrap_replica(
+      ca, ByteSpan(obj->dict_snapshot), obj->signed_root, obj->freshness,
+      to_seconds(now));
+  if (applied != ApplyResult::ok) {
+    count_rejected(applied);
+    return applied;
   }
   ++totals_.bootstraps;
   ++totals_.applied_ok;
@@ -165,19 +268,18 @@ bool RaUpdater::bootstrap(const cert::CaId& ca, TimeMs now, Rng& rng) {
     next_period_ = obj->upto_period + 1;
     mark_period();
   }
-  return true;
+  return svc::Status::ok;
 }
 
 std::optional<MisbehaviourEvidence> RaUpdater::consistency_check(
-    const cert::CaId& ca, TimeMs now, Rng& rng) {
+    const cert::CaId& ca, TimeMs now) {
   ++totals_.consistency_checks;
-  const auto fetch =
-      cdn_->get(ca::DistributionPoint::root_path(ca), now, config_.location,
-                rng);
-  totals_.latency_ms += fetch.latency_ms;
-  if (!fetch.found) return std::nullopt;
-  totals_.bytes += fetch.bytes;
-  const auto root = dict::SignedRoot::decode(ByteSpan(fetch.object->data));
+  const auto fetch = fetch_object(ca::DistributionPoint::root_path(ca), now);
+  if (!fetch.ok()) return std::nullopt;
+  const auto payload = cdn::decode_get_response(ByteSpan(fetch.response.body));
+  if (!payload) return std::nullopt;
+  totals_.bytes += payload->data.size();
+  const auto root = dict::SignedRoot::decode(ByteSpan(payload->data));
   if (!root) return std::nullopt;
   auto evidence = store_->cross_check(*root);
   if (evidence) ++totals_.misbehaviour_detected;

@@ -1,8 +1,16 @@
 // The RA's dissemination client: every ∆ it pulls the per-period feed
-// object from the nearest CDN edge and applies it to the dictionary store;
-// on a detected numbering gap it runs the sync protocol; and it can run the
+// object through the serving envelope (Method::cdn_get) and applies it to
+// the dictionary store; on a detected numbering gap it runs the sync
+// protocol over its sync transport (Method::feed_sync); and it can run the
 // consistency-checking procedure of §III (fetch a random edge's copy of a
 // CA's signed root and compare against the local replica).
+//
+// PR 5: the raw cdn::Cdn* pointer and the SyncFn std::function hook are
+// replaced by svc::Transport — the updater speaks the same versioned wire
+// protocol whether the endpoints are in-process simulations or real TCP
+// servers. The old direct-call constructor survives (deprecated) by
+// wrapping the Cdn in an owned in-process endpoint, so it can be deleted
+// in one place once nothing constructs it.
 //
 // Durable mode (PR 4): enable_persistence() opens a write-ahead log shared
 // with the store — the store logs every accepted feed message, the updater
@@ -16,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -28,13 +37,18 @@
 #include "persist/wal.hpp"
 #include "ra/store.hpp"
 #include "sim/geo.hpp"
+#include "svc/transport.hpp"
+
+namespace ritm::cdn {
+class CdnService;  // cdn/service.hpp — only the deprecated ctor needs it
+}
 
 namespace ritm::ra {
 
 class RaUpdater {
  public:
-  /// How the RA reaches the sync endpoint (served by the distribution
-  /// point / CA in a real deployment).
+  /// Legacy sync hook, kept only for the deprecated constructor; new code
+  /// serves sync through a svc::Transport (ca::SyncService server-side).
   using SyncFn =
       std::function<std::optional<dict::SyncResponse>(const dict::SyncRequest&)>;
 
@@ -47,7 +61,11 @@ class RaUpdater {
     std::uint64_t bytes = 0;             // feed bytes downloaded
     std::uint64_t messages = 0;          // feed messages applied
     std::uint64_t applied_ok = 0;
-    std::uint64_t rejected = 0;          // bad signature / root mismatch
+    std::uint64_t rejected = 0;          // total rejections (all causes)
+    /// Per-code breakdown of `rejected` — the svc::Status taxonomy
+    /// (bad_signature vs stale_root vs unknown_ca vs malformed ...), so a
+    /// fleet operator can tell a hostile feed from a version skew.
+    std::map<svc::Status, std::uint64_t> rejected_by;
     std::uint64_t syncs = 0;
     std::uint64_t sync_bytes = 0;
     std::uint64_t bootstraps = 0;        // cold-start objects installed
@@ -63,20 +81,31 @@ class RaUpdater {
     std::size_t messages = 0;
   };
 
+  /// `cdn_rpc` serves Method::cdn_get (feed objects, signed roots,
+  /// cold-start objects); `sync_rpc` (optional) serves Method::feed_sync.
+  /// Both must outlive the updater.
+  RaUpdater(Config config, DictionaryStore* store, svc::Transport* cdn_rpc,
+            svc::Transport* sync_rpc = nullptr);
+
+  /// Direct-call compatibility constructor: wraps `cdn` (and `sync`) in
+  /// owned in-process envelope endpoints. Deprecated — construct with
+  /// transports; this exists so the migration can be deleted in one place.
+  [[deprecated("construct with svc::Transport endpoints")]]
   RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
             SyncFn sync = {});
+
   /// Detaches the owned WAL from the store (the store may outlive this
   /// updater; it must not be left logging into a freed log).
   ~RaUpdater();
 
   /// Pulls and applies every feed period in [next_period, upto_period].
-  PullResult pull_up_to(std::uint64_t upto_period, TimeMs now, Rng& rng);
+  PullResult pull_up_to(std::uint64_t upto_period, TimeMs now);
 
   /// §III consistency checking: downloads a random-CA signed root from the
   /// nearest edge and cross-checks it against the local replica. Returns
   /// evidence if a split view is found.
   std::optional<MisbehaviourEvidence> consistency_check(
-      const cert::CaId& ca, TimeMs now, Rng& rng);
+      const cert::CaId& ca, TimeMs now);
 
   /// Direct RA<->RA gossip: cross-check a peer's signed root (§V "More
   /// powerful adversaries", map-server / gossip deployment).
@@ -119,23 +148,31 @@ class RaUpdater {
   /// CDN cold start (§VIII): one GET for the CA's snapshot+delta object,
   /// installed via DictionaryStore::bootstrap_replica. On success the feed
   /// cursor fast-forwards past the periods the snapshot covers, so the
-  /// following pull_up_to() fetches only the delta. Returns false when the
-  /// object is missing, malformed, or fails verification.
-  bool bootstrap(const cert::CaId& ca, TimeMs now, Rng& rng);
+  /// following pull_up_to() fetches only the delta. Non-ok codes say why:
+  /// not_found (no object), malformed, or an acceptance-rule rejection.
+  svc::Status bootstrap(const cert::CaId& ca, TimeMs now);
 
  private:
   void apply_message(const ca::FeedMessage& msg, UnixSeconds now);
   void run_sync(const cert::CaId& ca, UnixSeconds now);
   void mark_period();
+  void count_rejected(svc::Status code);
+  /// One envelope GET through cdn_rpc_; totals latency.
+  svc::CallResult fetch_object(const std::string& path, TimeMs now);
 
   Config config_;
   DictionaryStore* store_;
-  cdn::Cdn* cdn_;
-  SyncFn sync_;
+  svc::Transport* cdn_rpc_ = nullptr;
+  svc::Transport* sync_rpc_ = nullptr;
   std::uint64_t next_period_ = 0;
   Totals totals_;
   std::string persist_dir_;
   std::unique_ptr<persist::WriteAheadLog> wal_;
+  // Owned endpoints backing the deprecated direct-call constructor.
+  std::unique_ptr<cdn::CdnService> owned_cdn_service_;
+  std::unique_ptr<svc::Service> owned_sync_service_;
+  std::unique_ptr<svc::InProcessTransport> owned_cdn_rpc_;
+  std::unique_ptr<svc::InProcessTransport> owned_sync_rpc_;
 };
 
 }  // namespace ritm::ra

@@ -1,0 +1,145 @@
+#include "svc/envelope.hpp"
+
+#include <stdexcept>
+
+#include "common/crc32.hpp"
+#include "common/io.hpp"
+
+namespace ritm::svc {
+
+const char* to_string(Status s) noexcept {
+  switch (s) {
+    case Status::ok: return "ok";
+    case Status::truncated: return "truncated";
+    case Status::bad_crc: return "bad_crc";
+    case Status::bad_frame: return "bad_frame";
+    case Status::frame_too_large: return "frame_too_large";
+    case Status::version_skew: return "version_skew";
+    case Status::unknown_method: return "unknown_method";
+    case Status::malformed: return "malformed";
+    case Status::not_found: return "not_found";
+    case Status::unavailable: return "unavailable";
+    case Status::overloaded: return "overloaded";
+    case Status::transport_error: return "transport_error";
+    case Status::internal: return "internal";
+    case Status::unknown_ca: return "unknown_ca";
+    case Status::bad_signature: return "bad_signature";
+    case Status::stale_root: return "stale_root";
+    case Status::root_mismatch: return "root_mismatch";
+    case Status::gap_detected: return "gap_detected";
+    case Status::bad_freshness: return "bad_freshness";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::uint8_t kKindRequest = 0;
+constexpr std::uint8_t kKindResponse = 1;
+
+void encode_envelope(std::uint8_t kind, std::uint16_t version,
+                     std::uint16_t code, std::uint64_t request_id,
+                     ByteSpan body, Bytes& out) {
+  // The length field is 32-bit; a body at or past 4 GiB would silently
+  // wrap it and emit a frame whose length disagrees with its bytes.
+  if (body.size() > 0xFFFFFFFFu - kEnvelopeHeaderBytes) {
+    throw std::length_error("svc: envelope body exceeds u32 frame length");
+  }
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(kEnvelopeHeaderBytes + body.size()));
+  const std::size_t frame_start = out.size();
+  w.u8(kind);
+  w.u16(version);
+  w.u16(code);
+  w.u64(request_id);
+  w.raw(body);
+  const std::uint32_t crc =
+      crc32(ByteSpan(out.data() + frame_start, out.size() - frame_start));
+  w.u32(crc);
+}
+
+}  // namespace
+
+void encode_frame(const Request& req, Bytes& out) {
+  encode_envelope(kKindRequest, req.version,
+                  static_cast<std::uint16_t>(req.method), req.request_id,
+                  ByteSpan(req.body), out);
+}
+
+void encode_frame(const Response& resp, Bytes& out) {
+  encode_envelope(kKindResponse, resp.version,
+                  static_cast<std::uint16_t>(resp.status), resp.request_id,
+                  ByteSpan(resp.body), out);
+}
+
+Bytes encode_frame(const Request& req) {
+  Bytes out;
+  out.reserve(kFrameOverheadBytes + req.body.size());
+  encode_frame(req, out);
+  return out;
+}
+
+Bytes encode_frame(const Response& resp) {
+  Bytes out;
+  out.reserve(kFrameOverheadBytes + resp.body.size());
+  encode_frame(resp, out);
+  return out;
+}
+
+DecodedFrame decode_frame(ByteSpan stream, std::uint32_t max_frame) {
+  DecodedFrame d;
+  if (stream.size() < 4) return d;  // truncated: not even a length field
+  const std::uint32_t frame_len = (std::uint32_t(stream[0]) << 24) |
+                                  (std::uint32_t(stream[1]) << 16) |
+                                  (std::uint32_t(stream[2]) << 8) |
+                                  std::uint32_t(stream[3]);
+  if (frame_len < kEnvelopeHeaderBytes) {
+    d.status = Status::bad_frame;
+    return d;
+  }
+  // The length field is checked before waiting for the body so a hostile
+  // peer cannot make the server hold a giant buffer open.
+  if (frame_len > max_frame) {
+    d.status = Status::frame_too_large;
+    return d;
+  }
+  const std::size_t total = 4 + std::size_t(frame_len) + 4;
+  if (stream.size() < total) return d;  // truncated mid-frame
+
+  const ByteSpan frame = stream.subspan(4, frame_len);
+  const std::uint32_t want_crc = (std::uint32_t(stream[4 + frame_len]) << 24) |
+                                 (std::uint32_t(stream[4 + frame_len + 1]) << 16) |
+                                 (std::uint32_t(stream[4 + frame_len + 2]) << 8) |
+                                 std::uint32_t(stream[4 + frame_len + 3]);
+  if (crc32(frame) != want_crc) {
+    d.status = Status::bad_crc;
+    return d;
+  }
+
+  ByteReader r(frame);
+  const std::uint8_t kind = r.u8();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t code = r.u16();
+  const std::uint64_t request_id = r.u64();
+  Bytes body = r.raw(frame.size() - kEnvelopeHeaderBytes);
+  if (kind == kKindRequest) {
+    d.is_request = true;
+    d.request.version = version;
+    d.request.method = static_cast<Method>(code);
+    d.request.request_id = request_id;
+    d.request.body = std::move(body);
+  } else if (kind == kKindResponse) {
+    d.response.version = version;
+    d.response.status = static_cast<Status>(code);
+    d.response.request_id = request_id;
+    d.response.body = std::move(body);
+  } else {
+    d.status = Status::bad_frame;
+    return d;
+  }
+  d.status = Status::ok;
+  d.consumed = total;
+  return d;
+}
+
+}  // namespace ritm::svc

@@ -1,0 +1,57 @@
+#include "svc/service.hpp"
+
+namespace ritm::svc {
+
+Response reject(const Request& req, Status status,
+                std::uint16_t server_version) {
+  Response resp;
+  resp.version = server_version;
+  resp.status = status;
+  resp.request_id = req.request_id;
+  return resp;
+}
+
+ServerReply serve_bytes(Service& service, ByteSpan stream,
+                        std::uint32_t max_frame) {
+  ServerReply reply;
+  const DecodedFrame d = decode_frame(stream, max_frame);
+  if (d.status == Status::truncated) {
+    reply.need_more = true;
+    return reply;
+  }
+  if (d.status != Status::ok) {
+    // Fatal framing violation: the stream cannot be resynchronized (the
+    // length field itself is untrustworthy), so answer with request_id 0
+    // and tell the transport to close.
+    Response err;
+    err.version = service.version();
+    err.status = d.status;
+    encode_frame(err, reply.frame);
+    reply.fatal = true;
+    return reply;
+  }
+  reply.consumed = d.consumed;
+  if (!d.is_request) {
+    // A response frame arriving at a server: protocol confusion, fatal.
+    Response err;
+    err.version = service.version();
+    err.status = Status::bad_frame;
+    err.request_id = d.response.request_id;
+    encode_frame(err, reply.frame);
+    reply.fatal = true;
+    return reply;
+  }
+  if (d.request.version != service.version()) {
+    encode_frame(reject(d.request, Status::version_skew, service.version()),
+                 reply.frame);
+    return reply;
+  }
+  ServeResult served = service.handle(d.request);
+  served.response.request_id = d.request.request_id;
+  served.response.version = service.version();
+  encode_frame(served.response, reply.frame);
+  reply.sim_latency_ms = served.sim_latency_ms;
+  return reply;
+}
+
+}  // namespace ritm::svc

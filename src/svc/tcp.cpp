@@ -1,0 +1,374 @@
+#include "svc/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace ritm::svc {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TcpServer
+
+TcpServer::TcpServer(Service* service, TcpServerOptions opts)
+    : service_(service), opts_(opts) {
+  if (service_ == nullptr) {
+    throw std::invalid_argument("TcpServer: null service");
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpServer: bind() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (listen(listen_fd_, 128) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpServer: listen() failed");
+  }
+  set_nonblocking(listen_fd_);
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpServer: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool was_running = running_.exchange(false);
+  if (thread_.joinable()) {
+    // Wake the loop so it notices running_ == false.
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+    thread_.join();
+  }
+  if (was_running || listen_fd_ >= 0) {
+    for (auto& [fd, conn] : connections_) ::close(fd);
+    connections_.clear();
+    live_connections_.store(0);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  }
+}
+
+TcpServer::Stats TcpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void TcpServer::loop() {
+  epoll_event events[64];
+  while (running_.load()) {
+    const int n = epoll_wait(epoll_fd_, events, 64, 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n && running_.load(); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drain;
+        [[maybe_unused]] ssize_t r = read(wake_fd_, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      bool alive = true;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(fd);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) alive = write_ready(fd, it->second);
+      if (alive && (events[i].events & EPOLLIN)) {
+        alive = read_ready(fd, it->second);
+      }
+      if (alive) update_interest(fd, it->second);
+    }
+  }
+}
+
+void TcpServer::accept_ready() {
+  while (true) {
+    const int fd = accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: done for this round
+    if (connections_.size() >= opts_.max_connections) {
+      // Shed: answer with one overloaded envelope, then close. The client
+      // sees a clean protocol-level refusal instead of a RST. Counted
+      // before the write so the stat is visible by the time a peer can
+      // observe the refusal.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed_over_limit;
+      }
+      Response shed;
+      shed.version = service_->version();
+      shed.status = Status::overloaded;
+      const Bytes frame = encode_frame(shed);
+      [[maybe_unused]] ssize_t w = write(fd, frame.data(), frame.size());
+      ::close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    connections_.emplace(fd, Connection{});
+    live_connections_.store(connections_.size());
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+  }
+}
+
+bool TcpServer::read_ready(int fd, Connection& c) {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n == 0) {  // peer closed
+      close_connection(fd);
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(fd);
+      return false;
+    }
+    c.in.insert(c.in.end(), buf, buf + n);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_in += std::uint64_t(n);
+    }
+    if (c.in.size() > sizeof(buf)) break;  // give other fds a turn
+  }
+
+  // Dispatch every complete frame buffered so far.
+  std::size_t offset = 0;
+  while (!c.close_after_flush) {
+    ServerReply reply = serve_bytes(
+        *service_, ByteSpan(c.in.data() + offset, c.in.size() - offset),
+        opts_.max_frame_bytes);
+    if (reply.need_more) break;
+    if (c.out.empty()) {
+      c.out = std::move(reply.frame);  // large batch responses: no recopy
+    } else {
+      append(c.out, ByteSpan(reply.frame));
+    }
+    offset += reply.consumed;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (reply.fatal) {
+      ++stats_.fatal_frames;
+      c.close_after_flush = true;
+    } else {
+      ++stats_.requests;
+    }
+  }
+  if (offset > 0) c.in.erase(c.in.begin(), c.in.begin() + offset);
+  return write_ready(fd, c);
+}
+
+bool TcpServer::write_ready(int fd, Connection& c) {
+  while (c.out_offset < c.out.size()) {
+    const ssize_t n = write(fd, c.out.data() + c.out_offset,
+                            c.out.size() - c.out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      close_connection(fd);
+      return false;
+    }
+    c.out_offset += std::size_t(n);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_out += std::uint64_t(n);
+  }
+  c.out.clear();
+  c.out_offset = 0;
+  if (c.close_after_flush) {
+    close_connection(fd);
+    return false;
+  }
+  return true;
+}
+
+void TcpServer::update_interest(int fd, Connection& c) {
+  // Backpressure: a connection whose responses aren't being drained stops
+  // being read until the kernel accepts its pending output.
+  const bool want_pause = c.out.size() - c.out_offset > opts_.max_output_buffer;
+  if (want_pause && !c.paused) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.backpressure_pauses;
+  }
+  c.paused = want_pause;
+  epoll_event ev{};
+  ev.events = (c.paused ? 0u : std::uint32_t(EPOLLIN)) |
+              (c.out_offset < c.out.size() ? std::uint32_t(EPOLLOUT) : 0u);
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void TcpServer::close_connection(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+  live_connections_.store(connections_.size());
+}
+
+// ---------------------------------------------------------------- TcpClient
+
+TcpClient::TcpClient(std::string host, std::uint16_t port,
+                     TcpClientOptions opts)
+    : host_(std::move(host)), port_(port), opts_(opts) {}
+
+TcpClient::~TcpClient() { disconnect(); }
+
+void TcpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool TcpClient::connect_now() {
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    return false;
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    disconnect();
+    return false;
+  }
+  set_nodelay(fd_);
+  return true;
+}
+
+CallResult TcpClient::call(const Request& req) {
+  CallResult result;
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_id_++;
+
+  if (fd_ < 0 && !connect_now()) {
+    result.status = Status::transport_error;
+    return result;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const Bytes wire = encode_frame(stamped);
+
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = write(fd_, wire.data() + sent, wire.size() - sent);
+    if (n <= 0) {
+      disconnect();
+      result.status = Status::transport_error;
+      return result;
+    }
+    sent += std::size_t(n);
+  }
+  result.bytes_sent = wire.size();
+
+  // Read until one whole response frame (responses arrive in request order
+  // on a connection; rx_ may already hold a prefix from a previous read).
+  while (true) {
+    const DecodedFrame d = decode_frame(ByteSpan(rx_));
+    if (d.status == Status::ok) {
+      if (d.is_request) {  // a server must never send requests
+        disconnect();
+        result.status = Status::transport_error;
+        return result;
+      }
+      result.response = d.response;
+      result.bytes_received += d.consumed;
+      rx_.erase(rx_.begin(), rx_.begin() + d.consumed);
+      break;
+    }
+    if (d.status != Status::truncated) {
+      // Unframeable garbage from the server.
+      disconnect();
+      result.status = d.status;
+      return result;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = poll(&pfd, 1, opts_.timeout_ms);
+    if (pr <= 0) {
+      disconnect();
+      result.status = Status::transport_error;
+      return result;
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      disconnect();
+      result.status = Status::transport_error;
+      return result;
+    }
+    rx_.insert(rx_.end(), buf, buf + n);
+  }
+
+  result.latency_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace ritm::svc

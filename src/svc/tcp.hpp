@@ -1,0 +1,136 @@
+// Real-network transport for the service envelope: a nonblocking epoll
+// server and a blocking client, speaking exactly the frames of
+// svc/envelope.hpp over length-prefixed TCP. This is what lets an RA serve
+// status traffic over an actual socket (tools/ritm_serve.cpp) instead of
+// only inside the simulator.
+//
+// Server design:
+//   * one epoll loop on a dedicated thread; the listener, a shutdown
+//     eventfd, and every connection are edge-level-triggered fds
+//   * per-connection receive buffer fed to svc::serve_bytes — the shared
+//     dispatch, so responses are byte-identical to the in-process transport
+//   * connection limit: accepts past `max_connections` are answered with an
+//     `overloaded` envelope and closed immediately
+//   * backpressure: while a connection's pending output exceeds
+//     `max_output_buffer`, the server stops *reading* from it (EPOLLIN off)
+//     until the client drains responses — a slow reader stalls only itself,
+//     never the server's memory
+//   * fatal framing violations (bad CRC, oversized frame, garbage header)
+//     flush one error envelope and close the connection
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "svc/transport.hpp"
+
+namespace ritm::svc {
+
+struct TcpServerOptions {
+  /// 0 = pick an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  /// Accepts beyond this are shed with Status::overloaded.
+  std::size_t max_connections = 64;
+  /// Ceiling on a single frame's frame_len.
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Pending-output ceiling per connection before reads pause.
+  std::size_t max_output_buffer = 4u << 20;
+};
+
+class TcpServer {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t shed_over_limit = 0;  // connections refused at the cap
+    std::uint64_t requests = 0;         // frames dispatched to the service
+    std::uint64_t fatal_frames = 0;     // connections closed on bad framing
+    std::uint64_t backpressure_pauses = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+  };
+
+  /// Binds and listens on 127.0.0.1:`opts.port` and starts the loop
+  /// thread. Throws std::runtime_error when the socket cannot be set up.
+  TcpServer(Service* service, TcpServerOptions opts = {});
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Port actually bound (resolves an ephemeral request).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Live connection count (loop-thread-maintained, racy by nature).
+  std::size_t connection_count() const noexcept { return live_connections_; }
+
+  Stats stats() const;
+
+  /// Stops the loop and closes every fd. Idempotent; the destructor calls
+  /// it.
+  void stop();
+
+ private:
+  struct Connection {
+    Bytes in;
+    Bytes out;
+    std::size_t out_offset = 0;  // bytes of `out` already written
+    bool close_after_flush = false;
+    bool paused = false;  // EPOLLIN removed by backpressure
+  };
+
+  void loop();
+  void accept_ready();
+  bool read_ready(int fd, Connection& c);   // false = connection closed
+  bool write_ready(int fd, Connection& c);  // false = connection closed
+  void update_interest(int fd, Connection& c);
+  void close_connection(int fd);
+
+  Service* service_;
+  TcpServerOptions opts_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::map<int, Connection> connections_;
+  std::atomic<std::size_t> live_connections_{0};
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+struct TcpClientOptions {
+  /// Per-call round-trip timeout.
+  int timeout_ms = 10'000;
+};
+
+/// Blocking envelope client over one TCP connection. Connects lazily on
+/// the first call and reconnects after an error; not thread-safe (one
+/// in-flight request at a time, like the in-process transport).
+class TcpClient final : public Transport {
+ public:
+  TcpClient(std::string host, std::uint16_t port, TcpClientOptions opts = {});
+  ~TcpClient();
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  CallResult call(const Request& req) override;
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  void disconnect();
+
+ private:
+  bool connect_now();
+
+  std::string host_;
+  std::uint16_t port_;
+  TcpClientOptions opts_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  Bytes rx_;  // unconsumed bytes from previous reads
+};
+
+}  // namespace ritm::svc

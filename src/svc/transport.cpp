@@ -1,0 +1,34 @@
+#include "svc/transport.hpp"
+
+#include <stdexcept>
+
+namespace ritm::svc {
+
+InProcessTransport::InProcessTransport(Service* service) : service_(service) {
+  if (service_ == nullptr) {
+    throw std::invalid_argument("InProcessTransport: null service");
+  }
+}
+
+CallResult InProcessTransport::call(const Request& req) {
+  CallResult result;
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_id_++;
+
+  const Bytes wire = encode_frame(stamped);
+  result.bytes_sent = wire.size();
+
+  const ServerReply reply = serve_bytes(*service_, ByteSpan(wire));
+  result.bytes_received = reply.frame.size();
+  result.latency_ms = reply.sim_latency_ms;
+
+  DecodedFrame d = decode_frame(ByteSpan(reply.frame));
+  if (d.status != Status::ok || d.is_request) {
+    result.status = Status::transport_error;
+    return result;
+  }
+  result.response = std::move(d.response);
+  return result;
+}
+
+}  // namespace ritm::svc

@@ -146,19 +146,19 @@ TEST(DistributionPoint, VerifiesSubmissions) {
 
   auto good = FeedMessage::of(ca.revoke({cert::SerialNumber::from_uint(1)},
                                         1000));
-  EXPECT_TRUE(dp.submit(good));
+  EXPECT_EQ(dp.submit(good), svc::Status::ok);
 
   // Tampered issuance: rejected.
   auto bad = good;
   bad.issuance->signed_root.n += 1;
-  EXPECT_FALSE(dp.submit(bad));
+  EXPECT_EQ(dp.submit(bad), svc::Status::bad_signature);
 
   // Unknown CA: rejected.
   auto other = make_ca(13);
   // (other has the same id "CA-1" but a different key; re-id it)
   auto stranger = FeedMessage::of(
       dict::FreshnessStatement{"CA-UNKNOWN", crypto::Digest20{}});
-  EXPECT_FALSE(dp.submit(stranger));
+  EXPECT_EQ(dp.submit(stranger), svc::Status::unknown_ca);
   EXPECT_EQ(dp.rejected_submissions(), 2u);
 }
 

@@ -73,10 +73,37 @@ TEST(EdgeServer, StaleCacheServesNewVersionAfterExpiry) {
   origin.put("obj", {2}, 10);
   // Within TTL: stale copy served (CDN semantics).
   auto cached = edge.serve("obj", 500, kZurich, rng);
-  EXPECT_EQ(cached.object->data, (Bytes{1}));
+  EXPECT_EQ(cached.data, (Bytes{1}));
   // After TTL: fresh copy.
   auto fresh = edge.serve("obj", 2000, kZurich, rng);
-  EXPECT_EQ(fresh.object->data, (Bytes{2}));
+  EXPECT_EQ(fresh.data, (Bytes{2}));
+}
+
+TEST(EdgeServer, RepublishDuringPullCannotTouchServedBytes) {
+  // Regression (PR 5): FetchResult used to carry a `const Object*` into the
+  // edge cache / origin map — a republish overlapping a pull could mutate
+  // or free the bytes a caller was still decoding. Responses now own their
+  // payload.
+  Rng rng(9);
+  Origin origin(kVirginia);
+  origin.put("obj", Bytes(64, 0xA1), 0);
+  EdgeServer edge("lhr", "EU", kZurich, &origin, /*ttl=*/0);  // always refetch
+
+  const auto pull = edge.serve("obj", 0, kZurich, rng);
+  ASSERT_TRUE(pull.found);
+  const Bytes held = pull.data;  // the RA is still holding the first copy...
+
+  // ...when the origin republishes and another pull refreshes the cache
+  // entry (the exact interleaving that invalidated the old pointer).
+  origin.put("obj", Bytes(128, 0xB2), 10);
+  const auto refreshed = edge.serve("obj", 20, kZurich, rng);
+  ASSERT_TRUE(refreshed.found);
+  EXPECT_EQ(refreshed.data, Bytes(128, 0xB2));
+  EXPECT_EQ(refreshed.version, 2u);
+
+  EXPECT_EQ(pull.data, Bytes(64, 0xA1));  // untouched by the republish
+  EXPECT_EQ(pull.data, held);
+  EXPECT_EQ(pull.version, 1u);
 }
 
 TEST(EdgeServer, PurgeDropsCache) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/bytes.hpp"
+#include "common/crc32.hpp"
 #include "common/io.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -234,6 +235,48 @@ TEST(Table, RendersAligned) {
 TEST(Table, RowWidthMismatchThrows) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Crc32, KnownAnswerVectors) {
+  // IEEE 802.3 known answers: a table-construction bug in the slice-by-8
+  // implementation would pass every encode-then-decode test while breaking
+  // compatibility with WALs/snapshots written by the old byte-at-a-time
+  // code — these pin the function itself.
+  EXPECT_EQ(crc32(ByteSpan(bytes_of("123456789"))), 0xCBF43926u);
+  EXPECT_EQ(crc32(ByteSpan()), 0x00000000u);
+  EXPECT_EQ(crc32(ByteSpan(bytes_of("a"))), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(ByteSpan(bytes_of("The quick brown fox jumps over the "
+                                    "lazy dog"))),
+            0x414FA339u);
+}
+
+TEST(Crc32, SliceBy8MatchesBitwiseReferenceAtEveryLength) {
+  // Cross-check against a first-principles bitwise implementation for
+  // every length straddling the 8-byte main-loop/tail boundary, and for
+  // every chunked split of a fixed buffer (streaming == one-shot).
+  const auto reference = [](ByteSpan data) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const std::uint8_t b : data) {
+      c ^= b;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  Bytes buf;
+  for (std::size_t i = 0; i < 67; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(i * 31 + 7));
+    EXPECT_EQ(crc32(ByteSpan(buf)), reference(ByteSpan(buf)))
+        << "length " << buf.size();
+  }
+  for (std::size_t split = 0; split <= buf.size(); ++split) {
+    std::uint32_t state = crc32_init();
+    state = crc32_update(state, ByteSpan(buf.data(), split));
+    state = crc32_update(state,
+                         ByteSpan(buf.data() + split, buf.size() - split));
+    EXPECT_EQ(crc32_final(state), crc32(ByteSpan(buf))) << "split " << split;
+  }
 }
 
 TEST(Time, Conversions) {

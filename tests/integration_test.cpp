@@ -7,7 +7,9 @@
 
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
+#include "ca/sync_service.hpp"
 #include "cdn/cdn.hpp"
+#include "cdn/service.hpp"
 #include "client/client.hpp"
 #include "ra/agent.hpp"
 #include "ra/updater.hpp"
@@ -27,11 +29,15 @@ class Deployment {
   explicit Deployment(std::uint64_t seed)
       : rng_(seed),
         cdn_(cdn::make_global_cdn(/*ttl=*/0)),
+        cdn_rpc_(&cdn_, seed),
         dp_(&cdn_, kDelta),
         ca_(make_ca(rng_)),
+        sync_rpc_(&sync_service_),
         store_(),
         agent_({.delta = kDelta}, &store_),
-        updater_({sim::GeoPoint{47.4, 8.5}}, &store_, &cdn_, sync_fn()) {
+        updater_({sim::GeoPoint{47.4, 8.5}}, &store_, &cdn_rpc_.rpc,
+                 &sync_rpc_) {
+    sync_service_.add(&ca_);
     dp_.register_ca(ca_.id(), ca_.public_key());
     store_.register_ca(ca_.id(), ca_.public_key(), kDelta);
     roots_.add(ca_.id(), ca_.public_key());
@@ -56,8 +62,7 @@ class Deployment {
     loop_.schedule_every(from_seconds(1), from_seconds(kDelta),
                          [this](TimeMs at) {
                            if (dp_.next_period() == 0) return;
-                           updater_.pull_up_to(dp_.next_period() - 1, at,
-                                               rng_);
+                           updater_.pull_up_to(dp_.next_period() - 1, at);
                          });
   }
 
@@ -69,18 +74,6 @@ class Deployment {
     return ca::CertificationAuthority(cfg, rng, 0);
   }
 
-  ra::RaUpdater::SyncFn sync_fn() {
-    return [this](const dict::SyncRequest& req)
-               -> std::optional<dict::SyncResponse> {
-      dict::SyncResponse resp;
-      resp.ca = req.ca;
-      resp.entries = ca_.dictionary().entries_from(req.have_n + 1);
-      resp.signed_root = ca_.signed_root();
-      resp.freshness = ca_.freshness_at(to_seconds(loop_.now()));
-      return resp;
-    };
-  }
-
   /// Queues a revocation; the CA signs and disseminates it at its next ∆
   /// boundary.
   void revoke_at_next_period(const SerialNumber& serial) {
@@ -90,8 +83,11 @@ class Deployment {
   Rng rng_;
   sim::EventLoop loop_;
   cdn::Cdn cdn_;
+  cdn::LocalCdn cdn_rpc_;
   ca::DistributionPoint dp_;
   ca::CertificationAuthority ca_;
+  ca::SyncService sync_service_;
+  svc::InProcessTransport sync_rpc_;
   ra::DictionaryStore store_;
   ra::RevocationAgent agent_;
   ra::RaUpdater updater_;

@@ -17,6 +17,7 @@
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
 #include "cdn/cdn.hpp"
+#include "cdn/service.hpp"
 #include "common/rng.hpp"
 #include "dict/dictionary.hpp"
 #include "dict/sharded.hpp"
@@ -740,21 +741,22 @@ TEST(UpdaterPersist, CheckpointAndRecoverResumeFeedCursor) {
 
   ra::DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), ca.delta());
-  ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn);
+  cdn::LocalCdn cdn_rpc(&cdn);
+  ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn_rpc.rpc);
   updater.enable_persistence(dir.str());
 
   for (int p = 0; p < 6; ++p) publish_period(p % 3 == 0 ? 5 : 0);
-  updater.pull_up_to(5, from_seconds(now_s), rng);
+  updater.pull_up_to(5, from_seconds(now_s));
   updater.checkpoint();
   for (int p = 0; p < 4; ++p) publish_period(p % 2 == 0 ? 3 : 0);
-  updater.pull_up_to(9, from_seconds(now_s), rng);
+  updater.pull_up_to(9, from_seconds(now_s));
   // Crash: nothing flushed beyond the WAL's own batching — force the sync
   // the way a real shutdown would not get to.
   store.wal()->sync();
 
   ra::DictionaryStore store2;
   store2.register_ca(ca.id(), ca.public_key(), ca.delta());
-  ra::RaUpdater updater2({.location = {0, 0}}, &store2, &cdn);
+  ra::RaUpdater updater2({.location = {0, 0}}, &store2, &cdn_rpc.rpc);
   const auto report = updater2.recover(dir.str());
   ASSERT_TRUE(report.ok) << report.error;
   EXPECT_EQ(updater2.next_period(), 10u);
@@ -765,7 +767,7 @@ TEST(UpdaterPersist, CheckpointAndRecoverResumeFeedCursor) {
 
   // The recovered updater keeps pulling new periods seamlessly.
   publish_period(2);
-  updater2.pull_up_to(10, from_seconds(now_s), rng);
+  updater2.pull_up_to(10, from_seconds(now_s));
   EXPECT_EQ(store2.have_n(ca.id()), serial - 1);
   EXPECT_EQ(updater2.totals().syncs, 0u);
 }
@@ -823,8 +825,8 @@ TEST(UpdaterPersist, MutationsAfterEmptyTailRecoveryAreNotLost) {
   // *past* the snapshot's stamp — if the reopened log restarted at seq 1,
   // the next recovery would silently drop everything since the checkpoint.
   TempDir dir("updater-empty-tail");
-  Rng rng(71);
   auto cdn = cdn::make_global_cdn(0);
+  cdn::LocalCdn cdn_rpc(&cdn);
   ca::DistributionPoint dp(&cdn, 10);
   auto ca = make_ca(72);
   dp.register_ca(ca.id(), ca.public_key());
@@ -844,10 +846,10 @@ TEST(UpdaterPersist, MutationsAfterEmptyTailRecoveryAreNotLost) {
   {
     ra::DictionaryStore store;
     store.register_ca(ca.id(), ca.public_key(), ca.delta());
-    ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn);
+    ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn_rpc.rpc);
     updater.enable_persistence(dir.str());
     for (int p = 0; p < 3; ++p) publish_period(4);
-    updater.pull_up_to(2, from_seconds(now_s), rng);
+    updater.pull_up_to(2, from_seconds(now_s));
     updater.checkpoint();  // WAL now empty; crash right here
   }
 
@@ -856,12 +858,12 @@ TEST(UpdaterPersist, MutationsAfterEmptyTailRecoveryAreNotLost) {
     // Restart 1: recover from snapshot + empty tail, then accept more.
     ra::DictionaryStore store;
     store.register_ca(ca.id(), ca.public_key(), ca.delta());
-    ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn);
+    ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn_rpc.rpc);
     const auto report = updater.recover(dir.str());
     ASSERT_TRUE(report.ok) << report.error;
     EXPECT_EQ(updater.next_period(), 3u);
     for (int p = 0; p < 2; ++p) publish_period(4);
-    updater.pull_up_to(4, from_seconds(now_s), rng);
+    updater.pull_up_to(4, from_seconds(now_s));
     store.wal()->sync();
     n_after_second_run = store.have_n(ca.id());
     ASSERT_EQ(n_after_second_run, 20u);
@@ -870,7 +872,7 @@ TEST(UpdaterPersist, MutationsAfterEmptyTailRecoveryAreNotLost) {
   // Restart 2: the post-recovery mutations must all replay.
   ra::DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), ca.delta());
-  ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn);
+  ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn_rpc.rpc);
   const auto report = updater.recover(dir.str());
   ASSERT_TRUE(report.ok) << report.error;
   EXPECT_EQ(report.replayed, 2u);  // the two post-checkpoint issuances
@@ -882,15 +884,15 @@ TEST(UpdaterPersist, MutationsAfterEmptyTailRecoveryAreNotLost) {
   updater.checkpoint();
   ra::DictionaryStore store2;
   store2.register_ca(ca.id(), ca.public_key(), ca.delta());
-  ra::RaUpdater updater2({.location = {0, 0}}, &store2, &cdn);
+  ra::RaUpdater updater2({.location = {0, 0}}, &store2, &cdn_rpc.rpc);
   ASSERT_TRUE(updater2.recover(dir.str()).ok);
   EXPECT_EQ(store2.have_n(ca.id()), n_after_second_run);
   EXPECT_EQ(updater2.next_period(), 5u);
 }
 
 TEST(ColdStart, FreshRaBootstrapsInOnePullThenPullsOnlyDeltas) {
-  Rng rng(61);
   auto cdn = cdn::make_global_cdn(0);
+  cdn::LocalCdn cdn_rpc(&cdn);
   ca::DistributionPoint dp(&cdn, 10);
   auto ca = make_ca(62);
   dp.register_ca(ca.id(), ca.public_key());
@@ -908,8 +910,9 @@ TEST(ColdStart, FreshRaBootstrapsInOnePullThenPullsOnlyDeltas) {
     now_s += 10;
   }
   // The CA publishes its cold-start object covering periods 0..19.
-  ASSERT_TRUE(dp.publish_cold_start(ca.cold_start_object(19, now_s),
-                                    from_seconds(now_s)));
+  ASSERT_EQ(dp.publish_cold_start(ca.cold_start_object(19, now_s),
+                                  from_seconds(now_s)),
+            svc::Status::ok);
   // Two more delta periods after the snapshot.
   for (int p = 0; p < 2; ++p) {
     std::vector<SerialNumber> serials;
@@ -923,13 +926,13 @@ TEST(ColdStart, FreshRaBootstrapsInOnePullThenPullsOnlyDeltas) {
 
   ra::DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), ca.delta());
-  ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn);
-  ASSERT_TRUE(updater.bootstrap(ca.id(), from_seconds(now_s), rng));
+  ra::RaUpdater updater({.location = {0, 0}}, &store, &cdn_rpc.rpc);
+  ASSERT_EQ(updater.bootstrap(ca.id(), from_seconds(now_s)), svc::Status::ok);
   EXPECT_EQ(store.have_n(ca.id()), 1000u);   // periods 0..19 in one GET
   EXPECT_EQ(updater.next_period(), 20u);
   EXPECT_EQ(updater.totals().bootstraps, 1u);
 
-  updater.pull_up_to(21, from_seconds(now_s), rng);
+  updater.pull_up_to(21, from_seconds(now_s));
   EXPECT_EQ(store.have_n(ca.id()), serial - 1);
   EXPECT_EQ(updater.totals().syncs, 0u);
   EXPECT_EQ(updater.totals().rejected, 0u);
@@ -943,11 +946,13 @@ TEST(ColdStart, FreshRaBootstrapsInOnePullThenPullsOnlyDeltas) {
   // A tampered cold-start object is rejected: flip a snapshot byte.
   auto obj = ca.cold_start_object(21, now_s);
   obj.dict_snapshot[40] ^= 0x01;
-  ASSERT_TRUE(dp.publish_cold_start(obj, from_seconds(now_s)));  // sig is fine
+  ASSERT_EQ(dp.publish_cold_start(obj, from_seconds(now_s)),
+            svc::Status::ok);  // sig is fine
   ra::DictionaryStore store2;
   store2.register_ca(ca.id(), ca.public_key(), ca.delta());
-  ra::RaUpdater updater2({.location = {0, 0}}, &store2, &cdn);
-  EXPECT_FALSE(updater2.bootstrap(ca.id(), from_seconds(now_s), rng));
+  ra::RaUpdater updater2({.location = {0, 0}}, &store2, &cdn_rpc.rpc);
+  EXPECT_EQ(updater2.bootstrap(ca.id(), from_seconds(now_s)),
+            svc::Status::root_mismatch);
   EXPECT_FALSE(store2.has_root(ca.id()));
 }
 

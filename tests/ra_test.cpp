@@ -5,6 +5,8 @@
 
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
+#include "ca/sync_service.hpp"
+#include "cdn/service.hpp"
 #include "ra/agent.hpp"
 #include "ra/dpi.hpp"
 #include "ra/store.hpp"
@@ -650,7 +652,6 @@ TEST_F(AgentTest, TerminatorModeConfirmsRitm) {
 // ------------------------------------------------------------- updater
 
 TEST(Updater, PullsAndAppliesFeed) {
-  Rng rng(30);
   auto ca = make_ca(30);
   cdn::Cdn cdn = cdn::make_global_cdn(0);
   ca::DistributionPoint dp(&cdn, 10);
@@ -658,7 +659,8 @@ TEST(Updater, PullsAndAppliesFeed) {
 
   DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), ca.delta());
-  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn);
+  cdn::LocalCdn cdn_rpc(&cdn);
+  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn_rpc.rpc);
 
   dp.submit(ca::FeedMessage::of(ca.revoke({SerialNumber::from_uint(1)},
                                           1000)));
@@ -667,7 +669,7 @@ TEST(Updater, PullsAndAppliesFeed) {
       dict::FreshnessStatement{ca.id(), ca.freshness_at(1010)}));
   dp.publish(10'000);
 
-  const auto result = updater.pull_up_to(1, from_seconds(1010), rng);
+  const auto result = updater.pull_up_to(1, from_seconds(1010));
   EXPECT_EQ(result.messages, 2u);
   EXPECT_GT(result.bytes, 0u);
   EXPECT_GT(result.latency_ms, 0.0);
@@ -677,7 +679,6 @@ TEST(Updater, PullsAndAppliesFeed) {
 }
 
 TEST(Updater, GapTriggersSync) {
-  Rng rng(31);
   auto ca = make_ca(31);
   cdn::Cdn cdn = cdn::make_global_cdn(0);
   ca::DistributionPoint dp(&cdn, 10);
@@ -685,16 +686,12 @@ TEST(Updater, GapTriggersSync) {
 
   DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), ca.delta());
-  RaUpdater updater(
-      {sim::GeoPoint{47.4, 8.5}}, &store, &cdn,
-      [&](const dict::SyncRequest& req) -> std::optional<dict::SyncResponse> {
-        dict::SyncResponse resp;
-        resp.ca = req.ca;
-        resp.entries = ca.dictionary().entries_from(req.have_n + 1);
-        resp.signed_root = ca.signed_root();
-        resp.freshness = ca.freshness_at(1020);
-        return resp;
-      });
+  cdn::LocalCdn cdn_rpc(&cdn);
+  ca::SyncService sync_service;
+  sync_service.add(&ca);
+  svc::InProcessTransport sync_rpc(&sync_service);
+  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn_rpc.rpc,
+                    &sync_rpc);
 
   // Period 0 published while this RA was offline (never uploaded).
   ca.revoke({SerialNumber::from_uint(1)}, 1000);
@@ -702,7 +699,7 @@ TEST(Updater, GapTriggersSync) {
   dp.submit(ca::FeedMessage::of(ca.revoke({SerialNumber::from_uint(2)},
                                           1010)));
   dp.publish(10'000);
-  updater.pull_up_to(0, from_seconds(1020), rng);
+  updater.pull_up_to(0, from_seconds(1020));
 
   EXPECT_EQ(updater.totals().syncs, 1u);
   EXPECT_EQ(store.have_n("CA-1"), 2u);
@@ -710,7 +707,6 @@ TEST(Updater, GapTriggersSync) {
 }
 
 TEST(Updater, ConsistencyCheckFindsSplitView) {
-  Rng rng(32);
   auto ca = make_ca(32);
   cdn::Cdn cdn = cdn::make_global_cdn(0);
   ca::DistributionPoint dp(&cdn, 10);
@@ -729,8 +725,9 @@ TEST(Updater, ConsistencyCheckFindsSplitView) {
   cdn.origin().put(ca::DistributionPoint::root_path("CA-1"),
                    fake.signed_root.encode(), 0);
 
-  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn);
-  const auto evidence = updater.consistency_check("CA-1", 1000, rng);
+  cdn::LocalCdn cdn_rpc(&cdn);
+  RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn_rpc.rpc);
+  const auto evidence = updater.consistency_check("CA-1", 1000);
   ASSERT_TRUE(evidence.has_value());
   EXPECT_EQ(updater.totals().misbehaviour_detected, 1u);
 }

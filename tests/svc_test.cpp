@@ -1,0 +1,812 @@
+// Service-envelope tests (PR 5): byte-precise framing robustness in the
+// style of tests/persist_test.cpp — truncation at every framing byte, a
+// corruption sweep over every byte of a frame, version skew, oversized
+// frames — plus the transport equivalence pin (in-process and TCP answer
+// the same request stream with identical responses), the re-plumbed
+// CDN/sync/status/gossip endpoints, and the TCP server's connection-limit
+// and fatal-framing behavior.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ca/authority.hpp"
+#include "ca/distribution.hpp"
+#include "ca/sync_service.hpp"
+#include "cdn/service.hpp"
+#include "client/client.hpp"
+#include "common/crc32.hpp"
+#include "common/io.hpp"
+#include "ra/service.hpp"
+#include "ra/store.hpp"
+#include "ra/updater.hpp"
+#include "svc/tcp.hpp"
+
+namespace ritm {
+namespace {
+
+using cert::SerialNumber;
+
+ca::CertificationAuthority make_ca(std::uint64_t seed,
+                                   const std::string& id = "CA-1") {
+  Rng rng(seed);
+  ca::CertificationAuthority::Config cfg;
+  cfg.id = id;
+  cfg.delta = 10;
+  cfg.chain_length = 64;
+  return ca::CertificationAuthority(cfg, rng, 1000);
+}
+
+/// Echoes the request body back, uppercasing the method into the first
+/// byte — enough structure to notice any corruption.
+class EchoService final : public svc::Service {
+ public:
+  svc::ServeResult handle(const svc::Request& req) override {
+    svc::ServeResult out;
+    out.response.request_id = req.request_id;
+    out.response.body.push_back(static_cast<std::uint8_t>(req.method));
+    append(out.response.body, ByteSpan(req.body));
+    return out;
+  }
+};
+
+/// A "v2 server": same dispatch, higher protocol version.
+class V2Service final : public svc::Service {
+ public:
+  svc::ServeResult handle(const svc::Request& req) override {
+    svc::ServeResult out;
+    out.response.request_id = req.request_id;
+    return out;
+  }
+  std::uint16_t version() const noexcept override { return 2; }
+};
+
+svc::Request make_request(svc::Method method, Bytes body,
+                          std::uint64_t id = 7) {
+  svc::Request req;
+  req.method = method;
+  req.request_id = id;
+  req.body = std::move(body);
+  return req;
+}
+
+// ------------------------------------------------------------- envelope
+
+TEST(Envelope, RequestRoundTrip) {
+  const auto req = make_request(svc::Method::status_batch, {1, 2, 3, 4}, 42);
+  const Bytes frame = svc::encode_frame(req);
+  EXPECT_EQ(frame.size(), svc::kFrameOverheadBytes + req.body.size());
+
+  const auto d = svc::decode_frame(ByteSpan(frame));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  ASSERT_TRUE(d.is_request);
+  EXPECT_EQ(d.request, req);
+  EXPECT_EQ(d.consumed, frame.size());
+}
+
+TEST(Envelope, ResponseRoundTrip) {
+  svc::Response resp;
+  resp.status = svc::Status::unknown_ca;
+  resp.request_id = 99;
+  resp.body = {0xAA, 0xBB};
+  const Bytes frame = svc::encode_frame(resp);
+
+  const auto d = svc::decode_frame(ByteSpan(frame));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  ASSERT_FALSE(d.is_request);
+  EXPECT_EQ(d.response, resp);
+}
+
+TEST(Envelope, EmptyBodyRoundTrip) {
+  const auto req = make_request(svc::Method::cdn_get, {});
+  const auto d = svc::decode_frame(ByteSpan(svc::encode_frame(req)));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.request, req);
+}
+
+TEST(Envelope, TruncationAtEveryFramingByte) {
+  // Every strict prefix of a valid frame must come back `truncated` with
+  // nothing consumed — the "wait for more bytes" signal, never an error,
+  // never a partial decode.
+  const auto req = make_request(svc::Method::feed_sync, {9, 8, 7, 6, 5});
+  const Bytes frame = svc::encode_frame(req);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const auto d = svc::decode_frame(ByteSpan(frame.data(), cut));
+    EXPECT_EQ(d.status, svc::Status::truncated) << "cut " << cut;
+    EXPECT_EQ(d.consumed, 0u) << "cut " << cut;
+  }
+  // Trailing extra bytes are left for the next frame.
+  Bytes two = frame;
+  append(two, ByteSpan(frame));
+  const auto d = svc::decode_frame(ByteSpan(two));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.consumed, frame.size());
+}
+
+TEST(Envelope, CorruptionSweepNeverDecodesWrongContent) {
+  // Flip every byte of the frame (all 8 bits each): the decoder must never
+  // return ok with content that differs from what was sent. Flips inside
+  // the CRC-covered region or the CRC itself are detected outright; flips
+  // in the length field misalign the CRC check or leave the frame
+  // truncated/oversized.
+  const auto req = make_request(svc::Method::status_query, {1, 2, 3});
+  const Bytes frame = svc::encode_frame(req);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = frame;
+      bad[i] ^= std::uint8_t(1u << bit);
+      const auto d = svc::decode_frame(ByteSpan(bad));
+      if (d.status == svc::Status::ok) {
+        EXPECT_TRUE(d.is_request) << "byte " << i << " bit " << bit;
+        EXPECT_NE(d.request, req) << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(Envelope, BadCrcIsFatal) {
+  const auto req = make_request(svc::Method::status_query, {1, 2, 3});
+  Bytes frame = svc::encode_frame(req);
+  frame.back() ^= 0x01;  // the CRC's low byte
+  const auto d = svc::decode_frame(ByteSpan(frame));
+  EXPECT_EQ(d.status, svc::Status::bad_crc);
+  EXPECT_EQ(d.consumed, 0u);
+}
+
+TEST(Envelope, UndersizedLengthIsBadFrame) {
+  Bytes frame;
+  ByteWriter w(frame);
+  w.u32(std::uint32_t(svc::kEnvelopeHeaderBytes - 1));
+  w.raw(Bytes(64, 0));
+  EXPECT_EQ(svc::decode_frame(ByteSpan(frame)).status,
+            svc::Status::bad_frame);
+}
+
+TEST(Envelope, UnknownKindIsBadFrame) {
+  const auto req = make_request(svc::Method::status_query, {});
+  Bytes frame = svc::encode_frame(req);
+  frame[4] = 2;  // kind byte: neither request nor response
+  // Re-CRC so only the kind is wrong.
+  const std::uint32_t crc = crc32(
+      ByteSpan(frame.data() + 4, frame.size() - 8));
+  frame[frame.size() - 4] = std::uint8_t(crc >> 24);
+  frame[frame.size() - 3] = std::uint8_t(crc >> 16);
+  frame[frame.size() - 2] = std::uint8_t(crc >> 8);
+  frame[frame.size() - 1] = std::uint8_t(crc);
+  EXPECT_EQ(svc::decode_frame(ByteSpan(frame)).status,
+            svc::Status::bad_frame);
+}
+
+TEST(Envelope, OversizedFrameRejectedBeforeBuffering) {
+  // A hostile length field is refused as soon as the 4 length bytes are
+  // in — the decoder must not wait for (or allocate) the declared body.
+  Bytes frame;
+  ByteWriter w(frame);
+  w.u32(1024 + 1);
+  const auto d = svc::decode_frame(ByteSpan(frame), /*max_frame=*/1024);
+  EXPECT_EQ(d.status, svc::Status::frame_too_large);
+  EXPECT_EQ(d.consumed, 0u);
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(Dispatch, UnknownMethodEchoesRequestId) {
+  // The CDN service implements exactly one method; anything else must be
+  // answered unknown_method with the request id echoed.
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  cdn::CdnService service(&cdn);
+  const auto req = make_request(svc::Method::gossip_roots, {}, 1234);
+  const auto reply = svc::serve_bytes(service, ByteSpan(svc::encode_frame(req)));
+  ASSERT_FALSE(reply.need_more);
+  ASSERT_FALSE(reply.fatal);
+  const auto d = svc::decode_frame(ByteSpan(reply.frame));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.response.status, svc::Status::unknown_method);
+  EXPECT_EQ(d.response.request_id, 1234u);
+}
+
+TEST(Dispatch, VersionSkewV1ClientV2Server) {
+  V2Service server;  // speaks protocol version 2
+  const auto req = make_request(svc::Method::status_query, {}, 5);  // v1
+  ASSERT_EQ(req.version, 1u);
+  const auto reply = svc::serve_bytes(server, ByteSpan(svc::encode_frame(req)));
+  ASSERT_FALSE(reply.fatal);
+  const auto d = svc::decode_frame(ByteSpan(reply.frame));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.response.status, svc::Status::version_skew);
+  EXPECT_EQ(d.response.request_id, 5u);
+  // The response advertises the server's version so the client can log
+  // what it must upgrade to.
+  EXPECT_EQ(d.response.version, 2u);
+
+  // And the v2 client is refused by a v1 server symmetrically.
+  EchoService v1;
+  auto req2 = make_request(svc::Method::status_query, {}, 6);
+  req2.version = 2;
+  const auto reply2 =
+      svc::serve_bytes(v1, ByteSpan(svc::encode_frame(req2)));
+  const auto d2 = svc::decode_frame(ByteSpan(reply2.frame));
+  ASSERT_EQ(d2.status, svc::Status::ok);
+  EXPECT_EQ(d2.response.status, svc::Status::version_skew);
+  EXPECT_EQ(d2.response.version, 1u);
+}
+
+TEST(Dispatch, FatalFramingAnswersThenCloses) {
+  EchoService echo;
+  Bytes garbage;
+  ByteWriter w(garbage);
+  w.u32(svc::kMaxFrameBytes + 1);
+  const auto reply = svc::serve_bytes(echo, ByteSpan(garbage));
+  ASSERT_TRUE(reply.fatal);
+  const auto d = svc::decode_frame(ByteSpan(reply.frame));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.response.status, svc::Status::frame_too_large);
+}
+
+// ------------------------------------------------------------- endpoints
+
+TEST(CdnEndpoint, GetServesOwnedBytesAcrossRepublish) {
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  cdn.origin().put("obj", Bytes(32, 0xC1), 0);
+  cdn::LocalCdn rpc(&cdn);
+
+  svc::Request req;
+  req.method = svc::Method::cdn_get;
+  req.body = cdn::encode_get_request("obj", 10, {47.4, 8.5});
+  const auto r1 = rpc.rpc.call(req);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1.latency_ms, 0.0);  // the geo model rides the transport
+  const auto payload1 = cdn::decode_get_response(ByteSpan(r1.response.body));
+  ASSERT_TRUE(payload1.has_value());
+  EXPECT_EQ(payload1->data, Bytes(32, 0xC1));
+  EXPECT_EQ(payload1->version, 1u);
+
+  // Republish: the first response's bytes are owned, not views.
+  cdn.origin().put("obj", Bytes(48, 0xD2), 20);
+  req.request_id = 0;
+  const auto r2 = rpc.rpc.call(req);
+  const auto payload2 = cdn::decode_get_response(ByteSpan(r2.response.body));
+  ASSERT_TRUE(payload2.has_value());
+  EXPECT_EQ(payload2->data, Bytes(48, 0xD2));
+  EXPECT_EQ(payload1->data, Bytes(32, 0xC1));  // untouched
+
+  svc::Request missing;
+  missing.method = svc::Method::cdn_get;
+  missing.body = cdn::encode_get_request("nope", 10, {47.4, 8.5});
+  const auto r3 = rpc.rpc.call(missing);
+  EXPECT_EQ(r3.status, svc::Status::ok);
+  EXPECT_EQ(r3.response.status, svc::Status::not_found);
+}
+
+TEST(StatusEndpoint, SingleAndBatchAgreeAndValidate) {
+  auto ca = make_ca(40);
+  ra::DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  std::vector<SerialNumber> revoked;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    revoked.push_back(SerialNumber::from_uint(i * 3, 4));
+  }
+  ASSERT_EQ(store.apply_issuance(ca.revoke(revoked, 1000), 1000),
+            ra::ApplyResult::ok);
+
+  ra::RaService service(&store);
+  svc::InProcessTransport rpc(&service);
+
+  std::vector<SerialNumber> probes;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    probes.push_back(SerialNumber::from_uint(i * 5 + 1, 4));
+  }
+
+  // Batch response == concatenation of single responses, byte for byte.
+  std::vector<Bytes> singles;
+  for (const auto& serial : probes) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(ca.id(), serial);
+    const auto r = rpc.call(req);
+    ASSERT_TRUE(r.ok());
+    singles.push_back(r.response.body);
+  }
+  svc::Request batch_req;
+  batch_req.method = svc::Method::status_batch;
+  batch_req.body = ra::encode_status_batch(ca.id(), probes);
+  const auto batch = rpc.call(batch_req);
+  ASSERT_TRUE(batch.ok());
+  const auto statuses =
+      ra::decode_status_batch_reply(ByteSpan(batch.response.body));
+  ASSERT_TRUE(statuses.has_value());
+  ASSERT_EQ(statuses->size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ((*statuses)[i], singles[i]) << "serial " << i;
+  }
+
+  // Served statuses validate end to end through the client.
+  cert::TrustStore roots;
+  roots.add(ca.id(), ca.public_key());
+  client::RitmClient client({.delta = 10, .expect_ritm = true,
+                             .require_server_confirmation = false},
+                            roots);
+  cert::Certificate leaf;
+  leaf.issuer = ca.id();
+  leaf.not_after = 10'000'000;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    leaf.serial = probes[i];
+    const std::uint64_t v = i * 5 + 1;  // probes[i]'s integer value
+    const bool is_revoked = v % 3 == 0 && v / 3 >= 1 && v / 3 <= 100;
+    const auto verdict =
+        client.validate_status_bytes(ByteSpan((*statuses)[i]), leaf, 1000);
+    if (is_revoked) {
+      EXPECT_EQ(verdict, client::Verdict::revoked) << i;
+    } else {
+      EXPECT_EQ(verdict, client::Verdict::accepted) << i;
+    }
+  }
+
+  // A batch whose response would blow the frame limit fails up front.
+  svc::Request huge;
+  huge.method = svc::Method::status_batch;
+  {
+    Bytes body;
+    ByteWriter w(body);
+    w.var8(ByteSpan(reinterpret_cast<const std::uint8_t*>(ca.id().data()),
+                    ca.id().size()));
+    w.u32(ra::kMaxBatchSerials + 1);
+    huge.body = std::move(body);
+  }
+  EXPECT_EQ(rpc.call(huge).response.status, svc::Status::frame_too_large);
+
+  // Taxonomy: unknown CA and not-yet-served CA are distinct codes.
+  svc::Request unknown;
+  unknown.method = svc::Method::status_query;
+  unknown.body = ra::encode_status_query("CA-NOPE", probes[0]);
+  EXPECT_EQ(rpc.call(unknown).response.status, svc::Status::unknown_ca);
+
+  store.register_ca("CA-EMPTY", ca.public_key(), 10);
+  svc::Request rootless;
+  rootless.method = svc::Method::status_query;
+  rootless.body = ra::encode_status_query("CA-EMPTY", probes[0]);
+  EXPECT_EQ(rpc.call(rootless).response.status, svc::Status::unavailable);
+}
+
+TEST(SyncEndpoint, GapRecoveryOverTransport) {
+  auto ca = make_ca(41);
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  ca::DistributionPoint dp(&cdn, 10);
+  dp.register_ca(ca.id(), ca.public_key());
+  cdn::LocalCdn cdn_rpc(&cdn);
+  ca::SyncService sync_service;
+  sync_service.add(&ca);
+  svc::InProcessTransport sync_rpc(&sync_service);
+
+  ra::DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  ra::RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn_rpc.rpc,
+                        &sync_rpc);
+
+  // Period 0 missed entirely; period 1's issuance exposes the gap.
+  ca.revoke({SerialNumber::from_uint(1)}, 1000);
+  dp.submit(ca::FeedMessage::of(ca.revoke({SerialNumber::from_uint(2)},
+                                          1010)));
+  dp.publish(10'000);
+  updater.pull_up_to(0, from_seconds(1020));
+
+  EXPECT_EQ(updater.totals().syncs, 1u);
+  EXPECT_EQ(store.have_n(ca.id()), 2u);
+  EXPECT_FALSE(store.needs_sync(ca.id()));
+  EXPECT_EQ(updater.totals().rejected, 0u);
+}
+
+TEST(GossipEndpoint, ExchangeOverTransportMatchesDirectExchange) {
+  auto ca = make_ca(42);
+  ca::MisbehavingCa evil(ca);
+  const auto hide = SerialNumber::from_uint(13);
+  const auto honest = ca.revoke({SerialNumber::from_uint(12), hide}, 1000);
+  const auto fake = evil.view_without(hide, 1000);
+
+  cert::TrustStore keys;
+  keys.add(ca.id(), ca.public_key());
+
+  // Direct in-memory exchange (the pre-PR5 path) as the oracle.
+  ra::GossipPool alice_direct(&keys), bob_direct(&keys);
+  alice_direct.observe(honest.signed_root);
+  bob_direct.observe(fake.signed_root);
+  // The conflict is discovered once per side (alice observing bob's root,
+  // bob observing alice's).
+  const auto direct = alice_direct.exchange(bob_direct);
+  ASSERT_EQ(direct.size(), 2u);
+
+  // The same exchange with Bob behind a transport.
+  ra::DictionaryStore bob_store;
+  ra::GossipPool alice(&keys), bob(&keys);
+  alice.observe(honest.signed_root);
+  bob.observe(fake.signed_root);
+  ra::RaService bob_service(&bob_store, &bob);
+  svc::InProcessTransport bob_rpc(&bob_service);
+
+  const auto wired = alice.exchange_over(bob_rpc);
+  ASSERT_TRUE(wired.has_value());
+  ASSERT_EQ(wired->size(), direct.size());
+  // Same evidence set, independent of which side reported first.
+  const auto key = [](const ra::MisbehaviourEvidence& e) {
+    return to_hex(ByteSpan(e.ours.encode())) +
+           to_hex(ByteSpan(e.theirs.encode()));
+  };
+  std::vector<std::string> direct_keys, wired_keys;
+  for (const auto& e : direct) direct_keys.push_back(key(e));
+  for (const auto& e : *wired) wired_keys.push_back(key(e));
+  std::sort(direct_keys.begin(), direct_keys.end());
+  std::sort(wired_keys.begin(), wired_keys.end());
+  EXPECT_EQ(direct_keys, wired_keys);
+  // Both sides hold the union afterwards, like the direct exchange.
+  EXPECT_EQ(alice.size(), alice_direct.size());
+  EXPECT_EQ(bob.size(), bob_direct.size());
+
+  // A pool-less RA answers gossip with `unavailable`.
+  ra::RaService no_gossip(&bob_store);
+  svc::InProcessTransport no_gossip_rpc(&no_gossip);
+  EXPECT_FALSE(alice.exchange_over(no_gossip_rpc).has_value());
+}
+
+TEST(GossipEndpoint, FabricatedPeerEvidenceIsDropped) {
+  // A lying peer RA returns "evidence" it invented. exchange_over must
+  // re-check every pair against the observe() rule (both roots signed by
+  // the CA's key, same n, different root) instead of believing the peer.
+  auto ca = make_ca(46);
+  const auto honest = ca.revoke({SerialNumber::from_uint(5)}, 1000);
+
+  class LyingPeer final : public svc::Service {
+   public:
+    explicit LyingPeer(std::vector<ra::MisbehaviourEvidence> fabricated)
+        : fabricated_(std::move(fabricated)) {}
+    svc::ServeResult handle(const svc::Request& req) override {
+      svc::ServeResult out;
+      out.response.request_id = req.request_id;
+      ByteWriter w(out.response.body);
+      w.u32(0);  // no roots of its own
+      w.u32(static_cast<std::uint32_t>(fabricated_.size()));
+      for (const auto& e : fabricated_) {
+        w.var16(ByteSpan(e.ours.encode()));
+        w.var16(ByteSpan(e.theirs.encode()));
+      }
+      return out;
+    }
+   private:
+    std::vector<ra::MisbehaviourEvidence> fabricated_;
+  };
+
+  cert::TrustStore keys;
+  keys.add(ca.id(), ca.public_key());
+
+  // Fabrication 1: the same root twice (no conflict). Fabrication 2: a
+  // "conflicting" root whose signature is not the CA's.
+  dict::SignedRoot forged = honest.signed_root;
+  forged.root[0] ^= 0x01;  // different hash, signature now invalid
+  LyingPeer liar({{honest.signed_root, honest.signed_root},
+                  {honest.signed_root, forged}});
+  svc::InProcessTransport liar_rpc(&liar);
+
+  ra::GossipPool pool(&keys);
+  pool.observe(honest.signed_root);
+  const auto evidence = pool.exchange_over(liar_rpc);
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_TRUE(evidence->empty());       // nothing believed
+  EXPECT_EQ(pool.forged_dropped(), 2u); // both fabrications counted
+}
+
+TEST(Updater, RejectionBreakdownByStatusCode) {
+  // Two CAs publish through the distribution point; the RA only trusts
+  // CA-1, so CA-2's messages land in the unknown_ca bucket of the
+  // Totals::rejected breakdown.
+  auto ca1 = make_ca(43, "CA-1");
+  auto ca2 = make_ca(44, "CA-2");
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  ca::DistributionPoint dp(&cdn, 10);
+  dp.register_ca(ca1.id(), ca1.public_key());
+  dp.register_ca(ca2.id(), ca2.public_key());
+  cdn::LocalCdn cdn_rpc(&cdn);
+
+  ra::DictionaryStore store;
+  store.register_ca(ca1.id(), ca1.public_key(), ca1.delta());
+  ra::RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &cdn_rpc.rpc);
+
+  dp.submit(ca::FeedMessage::of(ca1.revoke({SerialNumber::from_uint(1)},
+                                           1000)));
+  dp.submit(ca::FeedMessage::of(ca2.revoke({SerialNumber::from_uint(2)},
+                                           1000)));
+  dp.publish(0);
+  updater.pull_up_to(0, from_seconds(1010));
+
+  EXPECT_EQ(updater.totals().applied_ok, 1u);
+  EXPECT_EQ(updater.totals().rejected, 1u);
+  ASSERT_TRUE(updater.totals().rejected_by.contains(svc::Status::unknown_ca));
+  EXPECT_EQ(updater.totals().rejected_by.at(svc::Status::unknown_ca), 1u);
+}
+
+TEST(Updater, TransportFailureDoesNotAdvanceFeedCursor) {
+  // A transient transport failure must leave the cursor in place so the
+  // period is refetched on the next pull — advancing would WAL-mark the
+  // period as covered and skip its feed forever.
+  class FlakyTransport final : public svc::Transport {
+   public:
+    explicit FlakyTransport(svc::Transport* inner) : inner_(inner) {}
+    svc::CallResult call(const svc::Request& req) override {
+      if (fail_next) {
+        fail_next = false;
+        svc::CallResult r;
+        r.status = svc::Status::transport_error;
+        return r;
+      }
+      return inner_->call(req);
+    }
+    bool fail_next = false;
+   private:
+    svc::Transport* inner_;
+  };
+
+  auto ca = make_ca(45);
+  cdn::Cdn cdn = cdn::make_global_cdn(0);
+  ca::DistributionPoint dp(&cdn, 10);
+  dp.register_ca(ca.id(), ca.public_key());
+  cdn::LocalCdn cdn_rpc(&cdn);
+  FlakyTransport flaky(&cdn_rpc.rpc);
+
+  ra::DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  ra::RaUpdater updater({sim::GeoPoint{47.4, 8.5}}, &store, &flaky);
+
+  dp.submit(ca::FeedMessage::of(ca.revoke({SerialNumber::from_uint(1)},
+                                          1000)));
+  dp.publish(0);
+
+  flaky.fail_next = true;
+  updater.pull_up_to(0, from_seconds(1010));
+  EXPECT_EQ(updater.next_period(), 0u);  // cursor held for retry
+  EXPECT_EQ(store.have_n(ca.id()), 0u);
+  EXPECT_EQ(updater.totals().rejected_by.at(svc::Status::transport_error),
+            1u);
+
+  // The retry succeeds and applies the period normally.
+  updater.pull_up_to(0, from_seconds(1010));
+  EXPECT_EQ(updater.next_period(), 1u);
+  EXPECT_EQ(store.have_n(ca.id()), 1u);
+}
+
+// ------------------------------------------------------------- TCP
+
+struct RaFixture {
+  RaFixture() : ca(make_ca(50)) {
+    store.register_ca(ca.id(), ca.public_key(), ca.delta());
+    std::vector<SerialNumber> revoked;
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+      revoked.push_back(SerialNumber::from_uint(i * 7, 4));
+    }
+    apply_ok = store.apply_issuance(ca.revoke(revoked, 1000), 1000) ==
+               ra::ApplyResult::ok;
+  }
+  ca::CertificationAuthority ca;
+  ra::DictionaryStore store;
+  bool apply_ok = false;
+};
+
+TEST(Tcp, StatusQueriesOverLoopback) {
+  RaFixture f;
+  ASSERT_TRUE(f.apply_ok);
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0});
+  ASSERT_GT(server.port(), 0);
+  svc::TcpClient client("127.0.0.1", server.port());
+
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i + 1, 4));
+    const auto r = client.call(req);
+    ASSERT_EQ(r.status, svc::Status::ok) << i;
+    ASSERT_EQ(r.response.status, svc::Status::ok) << i;
+    const auto status =
+        dict::RevocationStatus::decode(ByteSpan(r.response.body));
+    ASSERT_TRUE(status.has_value()) << i;
+    EXPECT_GT(r.latency_ms, 0.0);
+  }
+  EXPECT_EQ(server.stats().requests, 50u);
+  EXPECT_EQ(service.stats().single_queries, 50u);
+}
+
+TEST(Tcp, InProcessAndTcpAnswerIdenticalResponses) {
+  // The transport-equivalence pin of the PR 5 acceptance criteria: one
+  // request stream (status singles + batch + errors + a version skew),
+  // played through both transports against identical state, must produce
+  // identical Response envelopes — same status, same request id, same
+  // payload bytes.
+  RaFixture f;
+  ASSERT_TRUE(f.apply_ok);
+  ra::RaService service(&f.store);
+
+  std::vector<svc::Request> stream;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    stream.push_back(make_request(
+        svc::Method::status_query,
+        ra::encode_status_query(f.ca.id(), SerialNumber::from_uint(i * 9, 4)),
+        0));
+  }
+  std::vector<SerialNumber> batch;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    batch.push_back(SerialNumber::from_uint(i * 11 + 1, 4));
+  }
+  stream.push_back(make_request(svc::Method::status_batch,
+                                ra::encode_status_batch(f.ca.id(), batch), 0));
+  stream.push_back(make_request(
+      svc::Method::status_query,
+      ra::encode_status_query("CA-UNKNOWN", SerialNumber::from_uint(1, 4)),
+      0));
+  stream.push_back(make_request(svc::Method::cdn_get, {1, 2, 3}, 0));
+  {
+    auto skewed = make_request(svc::Method::status_query, {}, 0);
+    skewed.version = 9;
+    stream.push_back(skewed);
+  }
+
+  svc::InProcessTransport inproc(&service);
+  std::vector<svc::Response> in_process;
+  for (const auto& req : stream) in_process.push_back(inproc.call(req).response);
+
+  svc::TcpServer server(&service, {.port = 0});
+  svc::TcpClient tcp("127.0.0.1", server.port());
+  std::vector<svc::Response> over_tcp;
+  for (const auto& req : stream) {
+    const auto r = tcp.call(req);
+    ASSERT_EQ(r.status, svc::Status::ok);
+    over_tcp.push_back(r.response);
+  }
+
+  ASSERT_EQ(in_process.size(), over_tcp.size());
+  for (std::size_t i = 0; i < in_process.size(); ++i) {
+    EXPECT_EQ(in_process[i], over_tcp[i]) << "request " << i;
+  }
+}
+
+TEST(Tcp, ConnectionLimitShedsWithOverloadedEnvelope) {
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0, .max_connections = 1});
+
+  svc::TcpClient first("127.0.0.1", server.port());
+  svc::Request req;
+  req.method = svc::Method::status_query;
+  req.body = ra::encode_status_query(f.ca.id(),
+                                     SerialNumber::from_uint(7, 4));
+  ASSERT_TRUE(first.call(req).ok());
+
+  // A second connection is shed at accept time: the server writes one
+  // `overloaded` envelope and closes. Observed with a raw socket that
+  // sends nothing, so the envelope cannot be raced by a reset.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  Bytes got;
+  std::uint8_t buf[1024];
+  while (true) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.insert(got.end(), buf, buf + n);
+  }
+  close(fd);
+  const auto d = svc::decode_frame(ByteSpan(got));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.response.status, svc::Status::overloaded);
+  EXPECT_EQ(server.stats().shed_over_limit, 1u);
+
+  // The admitted connection keeps working.
+  req.request_id = 0;
+  EXPECT_TRUE(first.call(req).ok());
+}
+
+TEST(Tcp, OversizedFrameAnsweredAndConnectionClosed) {
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0, .max_frame_bytes = 1024});
+  svc::TcpClient client("127.0.0.1", server.port());
+
+  svc::Request big;
+  big.method = svc::Method::status_query;
+  big.body.resize(2048, 0xEE);
+  const auto r = client.call(big);
+  ASSERT_EQ(r.status, svc::Status::ok);
+  EXPECT_EQ(r.response.status, svc::Status::frame_too_large);
+  EXPECT_GE(server.stats().fatal_frames, 1u);
+}
+
+TEST(Tcp, GarbageBytesGetFatalEnvelopeThenEof) {
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0});
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A frame whose CRC cannot match.
+  const auto req = make_request(svc::Method::status_query, {1, 2, 3}, 3);
+  Bytes frame = svc::encode_frame(req);
+  frame.back() ^= 0xFF;
+  ASSERT_EQ(write(fd, frame.data(), frame.size()), ssize_t(frame.size()));
+
+  // Read everything until EOF: exactly one fatal error envelope.
+  Bytes got;
+  std::uint8_t buf[4096];
+  while (true) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.insert(got.end(), buf, buf + n);
+  }
+  close(fd);
+  const auto d = svc::decode_frame(ByteSpan(got));
+  ASSERT_EQ(d.status, svc::Status::ok);
+  EXPECT_EQ(d.response.status, svc::Status::bad_crc);
+  EXPECT_EQ(d.consumed, got.size());  // nothing after the error envelope
+}
+
+TEST(Tcp, PipelinedFramesAllAnswered) {
+  // Several frames written in one burst must all be dispatched (the server
+  // drains complete frames from the buffer, not one per wakeup).
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0});
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  constexpr std::size_t kFrames = 32;
+  Bytes burst;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.request_id = i + 1;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i + 1, 4));
+    svc::encode_frame(req, burst);
+  }
+  ASSERT_EQ(write(fd, burst.data(), burst.size()), ssize_t(burst.size()));
+
+  Bytes got;
+  std::uint8_t buf[16 * 1024];
+  std::size_t decoded = 0;
+  while (decoded < kFrames) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    got.insert(got.end(), buf, buf + n);
+    while (true) {
+      const auto d = svc::decode_frame(ByteSpan(got));
+      if (d.status != svc::Status::ok) break;
+      EXPECT_EQ(d.response.request_id, decoded + 1);
+      EXPECT_EQ(d.response.status, svc::Status::ok);
+      got.erase(got.begin(), got.begin() + d.consumed);
+      ++decoded;
+    }
+  }
+  close(fd);
+  EXPECT_EQ(decoded, kFrames);
+}
+
+}  // namespace
+}  // namespace ritm

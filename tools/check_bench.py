@@ -32,6 +32,7 @@ GATED = [
     ("dict_update.speedup", "incremental dictionary rebuild speedup"),
     ("status_cache.speedup", "warm status-cache speedup"),
     ("recovery.speedup", "snapshot+WAL restart vs full feed replay"),
+    ("svc_status.batch_speedup", "batched vs single status RPS over TCP"),
 ]
 
 # Reported for trend visibility but not gated: on scalar-only runners the
