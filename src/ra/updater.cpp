@@ -9,42 +9,6 @@
 
 namespace ritm::ra {
 
-namespace {
-
-/// Adapter keeping the deprecated SyncFn constructor alive: a legacy hook
-/// served through the real envelope dispatch, so even the compatibility
-/// path exercises the wire protocol.
-class SyncFnService final : public svc::Service {
- public:
-  explicit SyncFnService(RaUpdater::SyncFn fn) : fn_(std::move(fn)) {}
-
-  svc::ServeResult handle(const svc::Request& req) override {
-    svc::ServeResult out;
-    if (req.method != svc::Method::feed_sync) {
-      out.response = svc::reject(req, svc::Status::unknown_method);
-      return out;
-    }
-    const auto decoded = ca::decode_sync_request(ByteSpan(req.body));
-    if (!decoded) {
-      out.response = svc::reject(req, svc::Status::malformed);
-      return out;
-    }
-    const auto resp = fn_(decoded->request);
-    if (!resp) {
-      out.response = svc::reject(req, svc::Status::unavailable);
-      return out;
-    }
-    out.response.request_id = req.request_id;
-    resp->encode_into(out.response.body);
-    return out;
-  }
-
- private:
-  RaUpdater::SyncFn fn_;
-};
-
-}  // namespace
-
 RaUpdater::RaUpdater(Config config, DictionaryStore* store,
                      svc::Transport* cdn_rpc, svc::Transport* sync_rpc)
     : config_(config),
@@ -56,22 +20,36 @@ RaUpdater::RaUpdater(Config config, DictionaryStore* store,
   }
 }
 
-RaUpdater::RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
-                     SyncFn sync)
-    : config_(config), store_(store) {
-  if (store_ == nullptr || cdn == nullptr) {
-    throw std::invalid_argument("RaUpdater: null store or cdn");
+void RaUpdater::enable_resilience(svc::RetryPolicy retry,
+                                  svc::BreakerPolicy breaker,
+                                  std::uint64_t jitter_seed) {
+  if (resilient_cdn_) {
+    throw std::logic_error("RaUpdater: resilience already enabled");
   }
-  owned_cdn_service_ = std::make_unique<cdn::CdnService>(cdn);
-  owned_cdn_rpc_ =
-      std::make_unique<svc::InProcessTransport>(owned_cdn_service_.get());
-  cdn_rpc_ = owned_cdn_rpc_.get();
-  if (sync) {
-    owned_sync_service_ = std::make_unique<SyncFnService>(std::move(sync));
-    owned_sync_rpc_ =
-        std::make_unique<svc::InProcessTransport>(owned_sync_service_.get());
-    sync_rpc_ = owned_sync_rpc_.get();
+  resilient_cdn_ = std::make_unique<svc::ResilientTransport>(
+      cdn_rpc_, retry, breaker, jitter_seed);
+  cdn_rpc_ = resilient_cdn_.get();
+  if (sync_rpc_ != nullptr) {
+    resilient_sync_ = std::make_unique<svc::ResilientTransport>(
+        sync_rpc_, retry, breaker, jitter_seed ^ 0x9e3779b97f4a7c15ull);
+    sync_rpc_ = resilient_sync_.get();
   }
+}
+
+void RaUpdater::record_failure(svc::Status code, TimeMs now) {
+  ++health_.consecutive_failures;
+  health_.last_error = code;
+  if (!health_.degraded) {
+    health_.degraded = true;
+    health_.degraded_since = now;
+  }
+}
+
+void RaUpdater::record_success(TimeMs now) {
+  health_.consecutive_failures = 0;
+  health_.degraded = false;
+  health_.degraded_since = -1;
+  health_.last_success = now;
 }
 
 void RaUpdater::count_rejected(svc::Status code) {
@@ -163,10 +141,12 @@ RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
           }
         } else {
           count_rejected(svc::Status::malformed);  // feed bytes corrupt
+          record_failure(svc::Status::malformed, now);
           break;
         }
       } else {
         count_rejected(svc::Status::malformed);  // envelope body corrupt
+        record_failure(svc::Status::malformed, now);
         break;
       }
     } else if (fetch.error() != svc::Status::not_found) {
@@ -174,13 +154,16 @@ RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
       // other failure — transport error, version skew, a served error, or
       // (above) a body that will not decode — must NOT advance the cursor:
       // marking the period covered in the WAL would skip its feed forever.
-      // Count the failure, stall visibly, and retry the same period on the
-      // next pull instead.
+      // Count the failure, enter degraded mode (the replica keeps serving
+      // its last-verified state, visibly stale), and retry the same period
+      // on the next pull instead.
       count_rejected(fetch.error());
+      record_failure(fetch.error(), now);
       break;
     }
     ++next_period_;
     mark_period();  // the log now covers everything below next_period_
+    record_success(now);
   }
   return result;
 }

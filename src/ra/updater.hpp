@@ -5,12 +5,17 @@
 // consistency-checking procedure of §III (fetch a random edge's copy of a
 // CA's signed root and compare against the local replica).
 //
-// PR 5: the raw cdn::Cdn* pointer and the SyncFn std::function hook are
-// replaced by svc::Transport — the updater speaks the same versioned wire
-// protocol whether the endpoints are in-process simulations or real TCP
-// servers. The old direct-call constructor survives (deprecated) by
-// wrapping the Cdn in an owned in-process endpoint, so it can be deleted
-// in one place once nothing constructs it.
+// The updater speaks svc::Transport only (PR 5 replaced the raw cdn::Cdn*
+// pointer and the SyncFn hook; PR 6 deleted the deprecated compatibility
+// constructor) — the same versioned wire protocol whether the endpoints
+// are in-process simulations or real TCP servers.
+//
+// Resilience (PR 6): enable_resilience() wraps both transports in
+// svc::ResilientTransport (deadlines, capped backoff with jitter, circuit
+// breaker), and the updater tracks an explicit Health: a failed pull never
+// advances the cursor (the period would be skipped forever) — instead the
+// updater enters degraded mode, keeps serving the last-verified replica
+// through the store, and reports how stale it is via staleness_s().
 //
 // Durable mode (PR 4): enable_persistence() opens a write-ahead log shared
 // with the store — the store logs every accepted feed message, the updater
@@ -23,7 +28,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -32,28 +36,30 @@
 
 #include "ca/distribution.hpp"
 #include "ca/feed.hpp"
-#include "cdn/cdn.hpp"
 #include "common/rng.hpp"
 #include "persist/wal.hpp"
 #include "ra/store.hpp"
 #include "sim/geo.hpp"
+#include "svc/resilient.hpp"
 #include "svc/transport.hpp"
-
-namespace ritm::cdn {
-class CdnService;  // cdn/service.hpp — only the deprecated ctor needs it
-}
 
 namespace ritm::ra {
 
 class RaUpdater {
  public:
-  /// Legacy sync hook, kept only for the deprecated constructor; new code
-  /// serves sync through a svc::Transport (ca::SyncService server-side).
-  using SyncFn =
-      std::function<std::optional<dict::SyncResponse>(const dict::SyncRequest&)>;
-
   struct Config {
     sim::GeoPoint location{};
+  };
+
+  /// Dissemination health. While `degraded`, the replica is still served —
+  /// the store keeps answering queries from the last verified state — but
+  /// the answers may be stale; staleness_s() quantifies by how much.
+  struct Health {
+    bool degraded = false;
+    std::uint64_t consecutive_failures = 0;  // failed pulls since a success
+    TimeMs last_success = -1;                // last cursor advance (-1 never)
+    TimeMs degraded_since = -1;
+    svc::Status last_error = svc::Status::ok;
   };
 
   struct Totals {
@@ -87,13 +93,6 @@ class RaUpdater {
   RaUpdater(Config config, DictionaryStore* store, svc::Transport* cdn_rpc,
             svc::Transport* sync_rpc = nullptr);
 
-  /// Direct-call compatibility constructor: wraps `cdn` (and `sync`) in
-  /// owned in-process envelope endpoints. Deprecated — construct with
-  /// transports; this exists so the migration can be deleted in one place.
-  [[deprecated("construct with svc::Transport endpoints")]]
-  RaUpdater(Config config, DictionaryStore* store, cdn::Cdn* cdn,
-            SyncFn sync = {});
-
   /// Detaches the owned WAL from the store (the store may outlive this
   /// updater; it must not be left logging into a freed log).
   ~RaUpdater();
@@ -114,6 +113,33 @@ class RaUpdater {
 
   std::uint64_t next_period() const noexcept { return next_period_; }
   const Totals& totals() const noexcept { return totals_; }
+
+  // ------------------------------------------------------------ resilience
+
+  /// Wraps both transports in svc::ResilientTransport (per-request
+  /// deadlines, capped backoff with jitter, circuit breaker). Call once,
+  /// before the first pull; throws std::logic_error on a second call.
+  void enable_resilience(svc::RetryPolicy retry = {},
+                         svc::BreakerPolicy breaker = {},
+                         std::uint64_t jitter_seed = 0x7e57);
+
+  /// The owned resilient wrappers (nullptr until enable_resilience);
+  /// exposed so tests can inject virtual time and read retry stats.
+  svc::ResilientTransport* resilient_cdn() noexcept {
+    return resilient_cdn_.get();
+  }
+  svc::ResilientTransport* resilient_sync() noexcept {
+    return resilient_sync_.get();
+  }
+
+  const Health& health() const noexcept { return health_; }
+
+  /// Seconds since the last successful cursor advance; -1 before the first
+  /// success. Meaningful staleness reporting for degraded-mode serving.
+  double staleness_s(TimeMs now) const noexcept {
+    if (health_.last_success < 0) return -1.0;
+    return double(now - health_.last_success) / 1000.0;
+  }
 
   // ------------------------------------------------------------ durability
 
@@ -157,6 +183,8 @@ class RaUpdater {
   void run_sync(const cert::CaId& ca, UnixSeconds now);
   void mark_period();
   void count_rejected(svc::Status code);
+  void record_failure(svc::Status code, TimeMs now);
+  void record_success(TimeMs now);
   /// One envelope GET through cdn_rpc_; totals latency.
   svc::CallResult fetch_object(const std::string& path, TimeMs now);
 
@@ -166,13 +194,12 @@ class RaUpdater {
   svc::Transport* sync_rpc_ = nullptr;
   std::uint64_t next_period_ = 0;
   Totals totals_;
+  Health health_;
   std::string persist_dir_;
   std::unique_ptr<persist::WriteAheadLog> wal_;
-  // Owned endpoints backing the deprecated direct-call constructor.
-  std::unique_ptr<cdn::CdnService> owned_cdn_service_;
-  std::unique_ptr<svc::Service> owned_sync_service_;
-  std::unique_ptr<svc::InProcessTransport> owned_cdn_rpc_;
-  std::unique_ptr<svc::InProcessTransport> owned_sync_rpc_;
+  // Owned resilient wrappers installed by enable_resilience().
+  std::unique_ptr<svc::ResilientTransport> resilient_cdn_;
+  std::unique_ptr<svc::ResilientTransport> resilient_sync_;
 };
 
 }  // namespace ritm::ra

@@ -22,6 +22,8 @@ const char* to_string(Status s) noexcept {
     case Status::overloaded: return "overloaded";
     case Status::transport_error: return "transport_error";
     case Status::internal: return "internal";
+    case Status::deadline_exceeded: return "deadline_exceeded";
+    case Status::circuit_open: return "circuit_open";
     case Status::unknown_ca: return "unknown_ca";
     case Status::bad_signature: return "bad_signature";
     case Status::stale_root: return "stale_root";
@@ -84,6 +86,18 @@ Bytes encode_frame(const Response& resp) {
   out.reserve(kFrameOverheadBytes + resp.body.size());
   encode_frame(resp, out);
   return out;
+}
+
+Bytes encode_retry_after(std::uint32_t retry_after_ms) {
+  Bytes body;
+  ByteWriter w(body);
+  w.u32(retry_after_ms);
+  return body;
+}
+
+std::optional<std::uint32_t> decode_retry_after(ByteSpan body) {
+  ByteReader r(body);
+  return r.try_u32();
 }
 
 DecodedFrame decode_frame(ByteSpan stream, std::uint32_t max_frame) {

@@ -91,9 +91,11 @@ enum class Status : std::uint16_t {
   malformed = 7,        // body failed to decode
   not_found = 8,        // no object at the requested path
   unavailable = 9,      // endpoint exists but cannot serve yet (no root)
-  overloaded = 10,      // connection limit / backpressure shed
+  overloaded = 10,      // connection limit / quota / backpressure shed
   transport_error = 11, // socket-level failure (client-side synthesis)
   internal = 12,
+  deadline_exceeded = 13, // per-request deadline expired (client synthesis)
+  circuit_open = 14,    // circuit breaker refusing calls (client synthesis)
   // --- dictionary acceptance rules (ra::ApplyResult)
   unknown_ca = 16,
   bad_signature = 17,
@@ -146,5 +148,12 @@ struct DecodedFrame {
 
 DecodedFrame decode_frame(ByteSpan stream,
                           std::uint32_t max_frame = kMaxFrameBytes);
+
+/// Body of an `overloaded` response: an optional u32 retry-after hint in
+/// milliseconds — "come back no sooner than this". Servers that shed or
+/// throttle attach it; resilient clients floor their backoff at the hint.
+/// An empty body (pre-hint servers) decodes as nullopt.
+Bytes encode_retry_after(std::uint32_t retry_after_ms);
+std::optional<std::uint32_t> decode_retry_after(ByteSpan body);
 
 }  // namespace ritm::svc

@@ -1,0 +1,162 @@
+#include "svc/fault.hpp"
+
+#include <stdexcept>
+
+namespace ritm::svc {
+
+const char* to_string(Fault f) noexcept {
+  switch (f) {
+    case Fault::none: return "none";
+    case Fault::drop_request: return "drop_request";
+    case Fault::drop_response: return "drop_response";
+    case Fault::delay: return "delay";
+    case Fault::corrupt: return "corrupt";
+    case Fault::truncate: return "truncate";
+    case Fault::partial_write: return "partial_write";
+    case Fault::duplicate: return "duplicate";
+    case Fault::reset: return "reset";
+  }
+  return "unknown";
+}
+
+FaultTransport::FaultTransport(Transport* inner, std::uint64_t seed,
+                               FaultProfile profile)
+    : inner_(inner), rng_(seed), profile_(profile) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("FaultTransport: null inner transport");
+  }
+}
+
+Fault FaultTransport::draw() {
+  // One uniform draw sliced by cumulative probability: a single rng_ call
+  // per request keeps the schedule stable when probabilities are tuned.
+  const double u = rng_.uniform01();
+  double acc = 0.0;
+  const auto hit = [&](double p) {
+    acc += p;
+    return u < acc;
+  };
+  if (hit(profile_.drop_request)) return Fault::drop_request;
+  if (hit(profile_.drop_response)) return Fault::drop_response;
+  if (hit(profile_.delay)) return Fault::delay;
+  if (hit(profile_.corrupt)) return Fault::corrupt;
+  if (hit(profile_.truncate)) return Fault::truncate;
+  if (hit(profile_.partial_write)) return Fault::partial_write;
+  if (hit(profile_.duplicate)) return Fault::duplicate;
+  if (hit(profile_.reset)) return Fault::reset;
+  return Fault::none;
+}
+
+CallResult FaultTransport::fail(Status status) {
+  CallResult r;
+  r.status = status;
+  return r;
+}
+
+CallResult FaultTransport::call(const Request& req) {
+  ++stats_.calls;
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_id_++;
+
+  // A stashed duplicate is the first thing on the "wire": the stale frame
+  // arrives before anything sent now, exactly like a delayed copy on a
+  // socket. Its request_id belongs to an earlier call, which is how the
+  // caller can (and must) reject it.
+  if (stale_) {
+    ++stats_.stale_delivered;
+    ++consecutive_;
+    CallResult r;
+    r.response = std::move(*stale_);
+    stale_.reset();
+    r.bytes_received = kFrameOverheadBytes + r.response.body.size();
+    return r;
+  }
+
+  Fault fault = draw();
+  if (fault != Fault::none && profile_.max_consecutive != 0 &&
+      consecutive_ >= profile_.max_consecutive) {
+    fault = Fault::none;
+    ++stats_.forced_clean;
+  }
+
+  switch (fault) {
+    case Fault::drop_request:
+      ++stats_.drop_request;
+      ++consecutive_;
+      return fail(Status::deadline_exceeded);
+    case Fault::partial_write:
+      // The peer buffers a half frame and waits for the rest; the caller's
+      // deadline is what ends the call. No service side effects.
+      ++stats_.partial_writes;
+      ++consecutive_;
+      return fail(Status::deadline_exceeded);
+    case Fault::reset:
+      ++stats_.resets;
+      ++consecutive_;
+      return fail(Status::transport_error);
+    default:
+      break;
+  }
+
+  CallResult r = inner_->call(stamped);
+
+  switch (fault) {
+    case Fault::none:
+      ++stats_.clean;
+      consecutive_ = 0;
+      return r;
+    case Fault::delay: {
+      ++stats_.delays;
+      consecutive_ = 0;  // delayed but delivered: not a failure
+      const double extra =
+          profile_.delay_ms_min +
+          rng_.uniform01() * (profile_.delay_ms_max - profile_.delay_ms_min);
+      r.latency_ms += extra;
+      return r;
+    }
+    case Fault::drop_response:
+      ++stats_.drop_response;
+      ++consecutive_;
+      return fail(Status::deadline_exceeded);
+    case Fault::truncate:
+      ++stats_.truncations;
+      ++consecutive_;
+      return fail(Status::transport_error);
+    case Fault::duplicate:
+      if (r.status == Status::ok) {
+        ++stats_.duplicates;
+        ++consecutive_;  // the *next* call will see the stale copy
+        stale_ = r.response;
+      } else {
+        consecutive_ = 0;
+      }
+      return r;
+    case Fault::corrupt: {
+      ++stats_.corruptions;
+      ++consecutive_;
+      if (r.status != Status::ok) return r;  // nothing on the wire to flip
+      // Flip real wire bytes and re-run the real decoder: the caller sees
+      // exactly what a socket would hand it (virtually always bad_crc).
+      Bytes frame = encode_frame(r.response);
+      for (std::uint32_t i = 0; i < profile_.corrupt_flips; ++i) {
+        frame[rng_.uniform(frame.size())] ^=
+            static_cast<std::uint8_t>(1u << rng_.uniform(8));
+      }
+      const DecodedFrame d = decode_frame(ByteSpan(frame));
+      if (d.status == Status::ok && !d.is_request) {
+        // The flips cancelled out through the CRC (astronomically rare but
+        // the decoder said ok): deliver what the wire carried.
+        CallResult out;
+        out.response = d.response;
+        out.bytes_received = d.consumed;
+        return out;
+      }
+      return fail(d.status == Status::truncated ? Status::transport_error
+                                                : d.status);
+    }
+    default:
+      return r;  // unreachable: early-return faults handled above
+  }
+}
+
+}  // namespace ritm::svc

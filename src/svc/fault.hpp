@@ -1,0 +1,111 @@
+// Deterministic fault injection for the serving plane: a FaultTransport
+// wraps any svc::Transport (the in-process dispatch or a TcpClient alike)
+// and perturbs calls on a reproducible, seed-driven schedule — the chaos
+// half of the adversarial-resilience layer. The same seed replays the same
+// fault sequence bit-for-bit, so a schedule that breaks convergence in the
+// fault matrix (tests/fault_matrix_test.cpp) is a one-integer repro.
+//
+// Faults are injected at the frame level where that matters: a `corrupt`
+// fault re-encodes the response frame, flips real wire bytes, and re-runs
+// the real decoder, so what the caller observes (almost always bad_crc) is
+// exactly what a flipped bit on a socket would produce. Failure-kind faults
+// surface as the same client-synthesized statuses a real transport emits
+// (transport_error, deadline_exceeded), so the resilience layer above
+// (svc/resilient.hpp) cannot tell injected faults from real ones.
+//
+// Convergence guarantee: `max_consecutive` bounds how many calls in a row
+// may be faulted — after that many, one call is forced through clean. A
+// retry loop with more attempts than `max_consecutive` therefore always
+// terminates, which is what lets the fault matrix pin "every schedule
+// converges, zero hangs" over thousands of seeds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "svc/transport.hpp"
+
+namespace ritm::svc {
+
+/// One injected fault kind (drawn per call).
+enum class Fault : std::uint8_t {
+  none = 0,
+  drop_request,    // request lost before the service: no side effects
+  drop_response,   // service ran (side effects applied!), response lost
+  delay,           // response held back; surfaces as added latency
+  corrupt,         // response frame bytes flipped on the wire
+  truncate,        // response frame cut short; connection dies mid-read
+  partial_write,   // request frame cut short; peer waits forever -> timeout
+  duplicate,       // response delivered twice; the stale copy arrives next
+  reset,           // connection reset mid-call
+};
+
+const char* to_string(Fault f) noexcept;
+
+/// Per-kind injection probabilities (independent draws, first match wins in
+/// declaration order; the remainder is a clean call). Defaults give an
+/// aggressively lossy link with every fault kind represented.
+struct FaultProfile {
+  double drop_request = 0.06;
+  double drop_response = 0.06;
+  double delay = 0.08;
+  double corrupt = 0.06;
+  double truncate = 0.04;
+  double partial_write = 0.04;
+  double duplicate = 0.05;
+  double reset = 0.04;
+  /// Injected delay bounds (uniform), surfaced via CallResult::latency_ms.
+  double delay_ms_min = 1.0;
+  double delay_ms_max = 50.0;
+  /// Wire bytes flipped by a `corrupt` fault.
+  std::uint32_t corrupt_flips = 3;
+  /// Hard ceiling on consecutive faulted calls; the next call after a run
+  /// of this length always passes through clean. 0 disables the ceiling
+  /// (schedules may then starve a finite retry budget).
+  std::uint32_t max_consecutive = 6;
+};
+
+struct FaultStats {
+  std::uint64_t calls = 0;
+  std::uint64_t clean = 0;           // passed through unperturbed
+  std::uint64_t forced_clean = 0;    // passed because max_consecutive hit
+  std::uint64_t drop_request = 0;
+  std::uint64_t drop_response = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t duplicates = 0;      // responses stashed for re-delivery
+  std::uint64_t stale_delivered = 0; // stashed duplicates actually delivered
+  std::uint64_t resets = 0;
+};
+
+class FaultTransport final : public Transport {
+ public:
+  /// `inner` must outlive the wrapper. The seed fully determines the fault
+  /// schedule (given the same call sequence).
+  FaultTransport(Transport* inner, std::uint64_t seed,
+                 FaultProfile profile = {});
+
+  CallResult call(const Request& req) override;
+
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  Fault draw();
+  CallResult fail(Status status);
+
+  Transport* inner_;
+  Rng rng_;
+  FaultProfile profile_;
+  FaultStats stats_;
+  std::uint32_t consecutive_ = 0;
+  std::uint64_t next_id_ = 1;
+  /// A `duplicate` fault stashes the response here; the stale copy is
+  /// delivered to the *next* call (its request_id will not match — a
+  /// resilient caller detects the mismatch and retries).
+  std::optional<Response> stale_;
+};
+
+}  // namespace ritm::svc

@@ -1,0 +1,150 @@
+#include "svc/resilient.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace ritm::svc {
+
+ResilientTransport::ResilientTransport(Transport* inner, RetryPolicy retry,
+                                       BreakerPolicy breaker,
+                                       std::uint64_t jitter_seed)
+    : inner_(inner), retry_(retry), breaker_(breaker), rng_(jitter_seed) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("ResilientTransport: null inner transport");
+  }
+  if (retry_.max_attempts == 0) {
+    throw std::invalid_argument("ResilientTransport: max_attempts must be >0");
+  }
+}
+
+void ResilientTransport::set_time(SleepFn sleep, ClockFn clock) {
+  sleep_ = std::move(sleep);
+  clock_ = std::move(clock);
+}
+
+std::uint64_t ResilientTransport::now_ms() const {
+  if (clock_) return clock_();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ResilientTransport::sleep_ms(std::uint32_t ms) {
+  if (ms == 0) return;
+  stats_.backoff_ms_total += ms;
+  if (sleep_) {
+    sleep_(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+bool ResilientTransport::retryable_served(Status s) noexcept {
+  return s == Status::overloaded || s == Status::unavailable ||
+         s == Status::internal;
+}
+
+bool ResilientTransport::circuit_open() const {
+  return breaker_.failure_threshold != 0 && now_ms() < open_until_ms_;
+}
+
+CallResult ResilientTransport::call(const Request& req) {
+  ++stats_.calls;
+
+  // Fail fast while the breaker is open — an endpoint that just failed
+  // `failure_threshold` times in a row gets no traffic until open_ms has
+  // passed, at which point the next call is the half-open probe.
+  if (circuit_open()) {
+    ++stats_.breaker_fast_fails;
+    CallResult fast;
+    fast.status = Status::circuit_open;
+    return fast;
+  }
+
+  // The idempotent retry key: every attempt of this logical request carries
+  // the same request_id.
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_id_++;
+
+  const std::uint64_t start = now_ms();
+  CallResult last;
+  last.status = Status::transport_error;
+
+  for (std::uint32_t attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    if (now_ms() - start >= retry_.deadline_ms) {
+      ++stats_.deadline_exhausted;
+      break;
+    }
+    ++stats_.attempts;
+    last = inner_->call(stamped);
+
+    bool failed;
+    std::uint32_t floor_ms = 0;  // server-hinted minimum backoff
+    if (last.status != Status::ok) {
+      failed = true;  // the envelope never made the round trip
+    } else if (last.response.request_id != stamped.request_id) {
+      // A stale duplicate from an earlier request surfaced on this
+      // connection. Never hand it to the caller.
+      ++stats_.stale_rejected;
+      failed = true;
+      last.status = Status::transport_error;
+    } else if (retryable_served(last.response.status)) {
+      failed = true;
+      if (last.response.status == Status::overloaded) {
+        if (const auto hint =
+                decode_retry_after(ByteSpan(last.response.body))) {
+          floor_ms = *hint;
+          ++stats_.retry_after_honored;
+        }
+      }
+    } else {
+      // ok or a definitive application verdict: the answer.
+      consecutive_failures_ = 0;
+      return last;
+    }
+
+    if (failed) {
+      if (breaker_.failure_threshold != 0 &&
+          ++consecutive_failures_ >= breaker_.failure_threshold) {
+        // (Re-)open, extending the window on every further failure — a
+        // failed half-open probe lands here and re-opens the breaker.
+        if (now_ms() >= open_until_ms_) ++stats_.breaker_opens;
+        open_until_ms_ = now_ms() + breaker_.open_ms;
+      }
+      if (attempt == retry_.max_attempts) break;
+
+      // Capped exponential backoff with jitter, floored at the server's
+      // retry_after hint, clipped to the remaining deadline budget.
+      const std::uint32_t shift = std::min(attempt - 1, 20u);
+      std::uint64_t backoff = std::min<std::uint64_t>(
+          std::uint64_t(retry_.base_backoff_ms) << shift,
+          retry_.max_backoff_ms);
+      if (retry_.jitter > 0.0 && backoff > 0) {
+        const auto jittered = std::uint64_t(double(backoff) * retry_.jitter);
+        backoff = backoff - jittered + rng_.uniform(jittered + 1);
+      }
+      backoff = std::max<std::uint64_t>(backoff, floor_ms);
+      const std::uint64_t elapsed = now_ms() - start;
+      const std::uint64_t budget =
+          elapsed >= retry_.deadline_ms ? 0 : retry_.deadline_ms - elapsed;
+      backoff = std::min(backoff, budget);
+      ++stats_.retries;
+      sleep_ms(static_cast<std::uint32_t>(backoff));
+    }
+  }
+
+  ++stats_.failures;
+  // Out of attempts or out of time: surface what happened. A deadline
+  // exhaustion reports deadline_exceeded even if the last attempt failed
+  // some other way — "you ran out of budget" is the actionable verdict.
+  if (now_ms() - start >= retry_.deadline_ms &&
+      last.status != Status::ok) {
+    last.status = Status::deadline_exceeded;
+  }
+  return last;
+}
+
+}  // namespace ritm::svc

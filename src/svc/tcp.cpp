@@ -10,10 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 namespace ritm::svc {
 
@@ -27,6 +29,13 @@ void set_nonblocking(int fd) {
 void set_nodelay(int fd) {
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::uint64_t mono_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -110,7 +119,8 @@ TcpServer::Stats TcpServer::stats() const {
 void TcpServer::loop() {
   epoll_event events[64];
   while (running_.load()) {
-    const int n = epoll_wait(epoll_fd_, events, 64, 200);
+    const int timeout = sweep(mono_ms());
+    const int n = epoll_wait(epoll_fd_, events, 64, timeout);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
@@ -142,6 +152,58 @@ void TcpServer::loop() {
   }
 }
 
+void TcpServer::refill(Connection& c, std::uint64_t now_ms) {
+  if (opts_.requests_per_sec <= 0.0 && opts_.bytes_per_sec <= 0.0) return;
+  const double dt = double(now_ms - c.last_refill_ms) / 1000.0;
+  c.last_refill_ms = now_ms;
+  if (opts_.requests_per_sec > 0.0) {
+    c.req_tokens = std::min(c.req_tokens + dt * opts_.requests_per_sec,
+                            double(opts_.burst_requests));
+  }
+  if (opts_.bytes_per_sec > 0.0) {
+    c.byte_tokens = std::min(c.byte_tokens + dt * opts_.bytes_per_sec,
+                             double(opts_.burst_bytes));
+  }
+}
+
+int TcpServer::sweep(std::uint64_t now_ms) {
+  int timeout = 200;
+  if (opts_.idle_timeout_ms == 0) {
+    bool any_throttled = false;
+    for (auto& [fd, c] : connections_) any_throttled |= c.throttled;
+    if (!any_throttled) {
+      // Fast path: nothing timed is pending on any connection.
+      return timeout;
+    }
+  }
+  std::vector<int> idle;
+  for (auto& [fd, c] : connections_) {
+    if (c.throttled) {
+      if (now_ms >= c.throttled_until_ms) {
+        c.throttled = false;
+        update_interest(fd, c);
+      } else {
+        timeout = std::min<int>(
+            timeout, std::max<int>(int(c.throttled_until_ms - now_ms), 10));
+      }
+    }
+    if (opts_.idle_timeout_ms != 0 &&
+        now_ms - c.last_progress_ms >= opts_.idle_timeout_ms) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) {
+    // Counted before the close so the stat is visible by the time the peer
+    // can observe its EOF.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.idle_closed;
+    }
+    close_connection(fd);
+  }
+  return timeout;
+}
+
 void TcpServer::accept_ready() {
   while (true) {
     const int fd = accept4(listen_fd_, nullptr, nullptr,
@@ -159,13 +221,18 @@ void TcpServer::accept_ready() {
       Response shed;
       shed.version = service_->version();
       shed.status = Status::overloaded;
+      shed.body = encode_retry_after(opts_.retry_after_ms);
       const Bytes frame = encode_frame(shed);
       [[maybe_unused]] ssize_t w = write(fd, frame.data(), frame.size());
       ::close(fd);
       continue;
     }
     set_nodelay(fd);
-    connections_.emplace(fd, Connection{});
+    Connection conn;
+    conn.req_tokens = double(opts_.burst_requests);
+    conn.byte_tokens = double(opts_.burst_bytes);
+    conn.last_refill_ms = conn.last_progress_ms = mono_ms();
+    connections_.emplace(fd, std::move(conn));
     live_connections_.store(connections_.size());
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -198,11 +265,65 @@ bool TcpServer::read_ready(int fd, Connection& c) {
   }
 
   // Dispatch every complete frame buffered so far.
+  const bool quotas =
+      opts_.requests_per_sec > 0.0 || opts_.bytes_per_sec > 0.0;
   std::size_t offset = 0;
   while (!c.close_after_flush) {
-    ServerReply reply = serve_bytes(
-        *service_, ByteSpan(c.in.data() + offset, c.in.size() - offset),
-        opts_.max_frame_bytes);
+    const ByteSpan pending(c.in.data() + offset, c.in.size() - offset);
+    if (quotas) {
+      // Peek the next frame so quotas apply before the service runs. A
+      // well-formed request past quota gets an `overloaded` envelope with
+      // a retry_after hint computed from the bucket deficit, and the
+      // connection stops being read until the bucket refills; malformed
+      // frames fall through to serve_bytes' normal error handling.
+      const std::uint64_t now = mono_ms();
+      refill(c, now);
+      const DecodedFrame d = decode_frame(pending, opts_.max_frame_bytes);
+      if (d.status == Status::truncated) break;
+      if (d.status == Status::ok && d.is_request) {
+        const double cost = double(d.consumed);
+        const bool over_req =
+            opts_.requests_per_sec > 0.0 && c.req_tokens < 1.0;
+        const bool over_bytes =
+            opts_.bytes_per_sec > 0.0 && c.byte_tokens < cost;
+        if (over_req || over_bytes) {
+          double wait_s = 0.0;
+          if (over_req) {
+            wait_s = std::max(
+                wait_s, (1.0 - c.req_tokens) / opts_.requests_per_sec);
+          }
+          if (over_bytes) {
+            wait_s = std::max(wait_s,
+                              (cost - c.byte_tokens) / opts_.bytes_per_sec);
+          }
+          // Floor the pause at retry_after_ms: a pipelining flooder would
+          // otherwise be re-read every bucket tick (~1ms at typical rates)
+          // and the refusal churn alone could crowd out compliant
+          // connections. The hint matches the pause — the server really
+          // won't read this connection again any sooner.
+          const auto wait_ms = std::uint32_t(std::min(
+              std::max(wait_s * 1000.0 + 1.0, double(opts_.retry_after_ms)),
+              60'000.0));
+          Response resp;
+          resp.version = service_->version();
+          resp.status = Status::overloaded;
+          resp.request_id = d.request.request_id;
+          resp.body = encode_retry_after(wait_ms);
+          append(c.out, ByteSpan(encode_frame(resp)));
+          offset += d.consumed;
+          c.last_progress_ms = now;
+          c.throttled = true;
+          c.throttled_until_ms = std::max(c.throttled_until_ms,
+                                          now + std::uint64_t(wait_ms));
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.throttled;
+          continue;
+        }
+        if (opts_.requests_per_sec > 0.0) c.req_tokens -= 1.0;
+        if (opts_.bytes_per_sec > 0.0) c.byte_tokens -= cost;
+      }
+    }
+    ServerReply reply = serve_bytes(*service_, pending, opts_.max_frame_bytes);
     if (reply.need_more) break;
     if (c.out.empty()) {
       c.out = std::move(reply.frame);  // large batch responses: no recopy
@@ -210,6 +331,7 @@ bool TcpServer::read_ready(int fd, Connection& c) {
       append(c.out, ByteSpan(reply.frame));
     }
     offset += reply.consumed;
+    c.last_progress_ms = mono_ms();
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (reply.fatal) {
       ++stats_.fatal_frames;
@@ -253,18 +375,21 @@ void TcpServer::update_interest(int fd, Connection& c) {
     ++stats_.backpressure_pauses;
   }
   c.paused = want_pause;
+  const bool read_on = !c.paused && !c.throttled;
   epoll_event ev{};
-  ev.events = (c.paused ? 0u : std::uint32_t(EPOLLIN)) |
+  ev.events = (read_on ? std::uint32_t(EPOLLIN) : 0u) |
               (c.out_offset < c.out.size() ? std::uint32_t(EPOLLOUT) : 0u);
   ev.data.fd = fd;
   epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
 }
 
 void TcpServer::close_connection(int fd) {
+  // Bookkeeping first: the peer observes EOF the instant ::close runs, and
+  // connection_count() must already reflect the close by then.
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  ::close(fd);
   connections_.erase(fd);
   live_connections_.store(connections_.size());
+  ::close(fd);
 }
 
 // ---------------------------------------------------------------- TcpClient
@@ -283,22 +408,42 @@ void TcpClient::disconnect() {
   rx_.clear();
 }
 
-bool TcpClient::connect_now() {
-  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) return false;
+Status TcpClient::connect_now(int budget_ms) {
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) return Status::transport_error;
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port_);
   if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     disconnect();
-    return false;
+    return Status::transport_error;
   }
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    disconnect();
-    return false;
+    if (errno != EINPROGRESS) {
+      disconnect();
+      return Status::transport_error;
+    }
+    // Nonblocking connect: poll for writability within the budget, then
+    // read back SO_ERROR for the actual outcome.
+    pollfd pfd{fd_, POLLOUT, 0};
+    int pr;
+    do {
+      pr = poll(&pfd, 1, budget_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr == 0) {
+      disconnect();
+      return Status::deadline_exceeded;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (pr < 0 ||
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      disconnect();
+      return Status::transport_error;
+    }
   }
   set_nodelay(fd_);
-  return true;
+  return Status::ok;
 }
 
 CallResult TcpClient::call(const Request& req) {
@@ -306,23 +451,48 @@ CallResult TcpClient::call(const Request& req) {
   Request stamped = req;
   if (stamped.request_id == 0) stamped.request_id = next_id_++;
 
-  if (fd_ < 0 && !connect_now()) {
-    result.status = Status::transport_error;
+  // One absolute deadline covers connect, write, and read: whatever the
+  // server (or network) does, this call returns within timeout_ms.
+  const auto start = std::chrono::steady_clock::now();
+  const auto remaining = [&]() -> int {
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return opts_.timeout_ms - int(elapsed);
+  };
+  const auto fail = [&](Status s) {
+    disconnect();
+    result.status = s;
     return result;
+  };
+
+  if (fd_ < 0) {
+    const int budget = std::min(opts_.connect_timeout_ms,
+                                std::max(remaining(), 0));
+    const Status cs = connect_now(budget);
+    if (cs != Status::ok) return fail(cs);
   }
 
-  const auto start = std::chrono::steady_clock::now();
   const Bytes wire = encode_frame(stamped);
-
   std::size_t sent = 0;
   while (sent < wire.size()) {
     const ssize_t n = write(fd_, wire.data() + sent, wire.size() - sent);
-    if (n <= 0) {
-      disconnect();
-      result.status = Status::transport_error;
-      return result;
+    if (n > 0) {
+      sent += std::size_t(n);
+      continue;
     }
-    sent += std::size_t(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int rem = remaining();
+      if (rem <= 0) return fail(Status::deadline_exceeded);
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int pr = poll(&pfd, 1, rem);
+      if (pr == 0) return fail(Status::deadline_exceeded);
+      if (pr < 0 && errno != EINTR) return fail(Status::transport_error);
+      continue;
+    }
+    return fail(Status::transport_error);
   }
   result.bytes_sent = wire.size();
 
@@ -332,9 +502,7 @@ CallResult TcpClient::call(const Request& req) {
     const DecodedFrame d = decode_frame(ByteSpan(rx_));
     if (d.status == Status::ok) {
       if (d.is_request) {  // a server must never send requests
-        disconnect();
-        result.status = Status::transport_error;
-        return result;
+        return fail(Status::transport_error);
       }
       result.response = d.response;
       result.bytes_received += d.consumed;
@@ -343,23 +511,23 @@ CallResult TcpClient::call(const Request& req) {
     }
     if (d.status != Status::truncated) {
       // Unframeable garbage from the server.
-      disconnect();
-      result.status = d.status;
-      return result;
+      return fail(d.status);
     }
+    const int rem = remaining();
+    if (rem <= 0) return fail(Status::deadline_exceeded);
     pollfd pfd{fd_, POLLIN, 0};
-    const int pr = poll(&pfd, 1, opts_.timeout_ms);
-    if (pr <= 0) {
-      disconnect();
-      result.status = Status::transport_error;
-      return result;
+    const int pr = poll(&pfd, 1, rem);
+    if (pr == 0) return fail(Status::deadline_exceeded);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return fail(Status::transport_error);
     }
     std::uint8_t buf[64 * 1024];
     const ssize_t n = read(fd_, buf, sizeof(buf));
-    if (n <= 0) {
-      disconnect();
-      result.status = Status::transport_error;
-      return result;
+    if (n == 0) return fail(Status::transport_error);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return fail(Status::transport_error);
     }
     rx_.insert(rx_.end(), buf, buf + n);
   }

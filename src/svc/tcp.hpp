@@ -15,6 +15,15 @@
 //     `max_output_buffer`, the server stops *reading* from it (EPOLLIN off)
 //     until the client drains responses — a slow reader stalls only itself,
 //     never the server's memory
+//   * per-client quotas: each connection carries a request-rate and an
+//     inbound-byte token bucket; a frame past quota is answered with an
+//     `overloaded` envelope carrying a retry_after hint, and the connection
+//     stops being read until its bucket refills — a flooder costs the
+//     server one cheap envelope per excess frame and zero further reads,
+//     while compliant connections are untouched
+//   * slow-loris guard: a connection that goes `idle_timeout_ms` without
+//     completing a frame is closed — dribbling header bytes forever holds
+//     no server resources past the timeout
 //   * fatal framing violations (bad CRC, oversized frame, garbage header)
 //     flush one error envelope and close the connection
 #pragma once
@@ -39,6 +48,23 @@ struct TcpServerOptions {
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
   /// Pending-output ceiling per connection before reads pause.
   std::size_t max_output_buffer = 4u << 20;
+  /// Per-connection request-rate quota (token bucket, requests/second).
+  /// 0 disables the quota.
+  double requests_per_sec = 0.0;
+  /// Bucket capacity for the request quota (burst allowance).
+  std::uint32_t burst_requests = 32;
+  /// Per-connection inbound-byte quota (token bucket, bytes/second).
+  /// 0 disables the quota.
+  double bytes_per_sec = 0.0;
+  /// Bucket capacity for the byte quota.
+  std::uint32_t burst_bytes = 256u * 1024;
+  /// Close a connection that completes no frame for this long (slow-loris
+  /// guard). 0 = never.
+  std::uint32_t idle_timeout_ms = 0;
+  /// retry_after hint attached to connection-limit sheds, and the minimum
+  /// read-pause (and hint) for quota refusals — the deficit-based wait is
+  /// floored here so refusal churn stays cheap against pipelining floods.
+  std::uint32_t retry_after_ms = 100;
 };
 
 class TcpServer {
@@ -49,6 +75,8 @@ class TcpServer {
     std::uint64_t requests = 0;         // frames dispatched to the service
     std::uint64_t fatal_frames = 0;     // connections closed on bad framing
     std::uint64_t backpressure_pauses = 0;
+    std::uint64_t throttled = 0;        // frames refused over quota
+    std::uint64_t idle_closed = 0;      // slow-loris timeouts
     std::uint64_t bytes_in = 0;
     std::uint64_t bytes_out = 0;
   };
@@ -78,7 +106,13 @@ class TcpServer {
     Bytes out;
     std::size_t out_offset = 0;  // bytes of `out` already written
     bool close_after_flush = false;
-    bool paused = false;  // EPOLLIN removed by backpressure
+    bool paused = false;     // EPOLLIN removed by backpressure
+    bool throttled = false;  // EPOLLIN removed until the quota refills
+    double req_tokens = 0.0;
+    double byte_tokens = 0.0;
+    std::uint64_t last_refill_ms = 0;
+    std::uint64_t last_progress_ms = 0;  // last completed frame (or accept)
+    std::uint64_t throttled_until_ms = 0;
   };
 
   void loop();
@@ -87,6 +121,10 @@ class TcpServer {
   bool write_ready(int fd, Connection& c);  // false = connection closed
   void update_interest(int fd, Connection& c);
   void close_connection(int fd);
+  void refill(Connection& c, std::uint64_t now_ms);
+  /// Unthrottles refilled connections, closes slow-loris ones; returns the
+  /// epoll timeout until the next due throttle expiry.
+  int sweep(std::uint64_t now_ms);
 
   Service* service_;
   TcpServerOptions opts_;
@@ -103,13 +141,19 @@ class TcpServer {
 };
 
 struct TcpClientOptions {
-  /// Per-call round-trip timeout.
+  /// Per-call deadline covering connect, write, and read. A call that
+  /// cannot complete within this budget returns Status::deadline_exceeded.
   int timeout_ms = 10'000;
+  /// Ceiling on the connect() portion of the deadline (a dead host fails
+  /// fast instead of eating the whole call budget).
+  int connect_timeout_ms = 5'000;
 };
 
 /// Blocking envelope client over one TCP connection. Connects lazily on
 /// the first call and reconnects after an error; not thread-safe (one
-/// in-flight request at a time, like the in-process transport).
+/// in-flight request at a time, like the in-process transport). Every
+/// blocking step — connect (nonblocking + poll), write, read — is bounded
+/// by the per-call deadline, so a call can never hang past `timeout_ms`.
 class TcpClient final : public Transport {
  public:
   TcpClient(std::string host, std::uint16_t port, TcpClientOptions opts = {});
@@ -123,7 +167,7 @@ class TcpClient final : public Transport {
   void disconnect();
 
  private:
-  bool connect_now();
+  Status connect_now(int budget_ms);
 
   std::string host_;
   std::uint16_t port_;

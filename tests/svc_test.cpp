@@ -13,7 +13,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ca/authority.hpp"
@@ -806,6 +808,209 @@ TEST(Tcp, PipelinedFramesAllAnswered) {
   }
   close(fd);
   EXPECT_EQ(decoded, kFrames);
+}
+
+// --------------------------------------------------- resilience (PR 6)
+
+/// Raw loopback connect; returns the fd (>=0) or -1.
+int raw_connect(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+Bytes read_to_eof(int fd) {
+  Bytes got;
+  std::uint8_t buf[4096];
+  while (true) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.insert(got.end(), buf, buf + n);
+  }
+  return got;
+}
+
+TEST(Tcp, ConcurrentShedsAllGetWellFormedOverloadedEnvelopes) {
+  // Many clients racing past the connection limit at once: every shed
+  // connection must receive one complete, well-formed `overloaded`
+  // envelope carrying the retry_after hint — never a naked reset, never a
+  // torn frame.
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0, .max_connections = 1});
+
+  // Occupy the single slot.
+  svc::TcpClient holder("127.0.0.1", server.port());
+  svc::Request req;
+  req.method = svc::Method::status_query;
+  req.body = ra::encode_status_query(f.ca.id(), SerialNumber::from_uint(7, 4));
+  ASSERT_TRUE(holder.call(req).ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<Bytes> got(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      const int fd = raw_connect(server.port());
+      if (fd < 0) return;
+      got[i] = read_to_eof(fd);
+      close(fd);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    const auto d = svc::decode_frame(ByteSpan(got[i]));
+    ASSERT_EQ(d.status, svc::Status::ok) << "client " << i;
+    ASSERT_FALSE(d.is_request) << "client " << i;
+    EXPECT_EQ(d.response.status, svc::Status::overloaded) << "client " << i;
+    EXPECT_EQ(d.consumed, got[i].size()) << "client " << i;
+    const auto hint = svc::decode_retry_after(ByteSpan(d.response.body));
+    ASSERT_TRUE(hint.has_value()) << "client " << i;
+    EXPECT_EQ(*hint, 100u) << "client " << i;  // TcpServerOptions default
+  }
+  EXPECT_EQ(server.stats().shed_over_limit, std::uint64_t(kClients));
+
+  // The admitted connection kept its slot through the storm.
+  req.request_id = 0;
+  EXPECT_TRUE(holder.call(req).ok());
+}
+
+TEST(Tcp, PerClientQuotaThrottlesFloodNotCompliantClients) {
+  // A flooding connection blows its request-rate bucket: the excess frames
+  // are answered `overloaded` with a computed retry_after hint and the
+  // connection stops being read; a compliant connection on the same server
+  // is untouched (buckets are per client).
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0,
+                                   .requests_per_sec = 20.0,
+                                   .burst_requests = 4});
+
+  // Flood: one burst of 20 pipelined queries on a raw socket.
+  const int flood_fd = raw_connect(server.port());
+  ASSERT_GE(flood_fd, 0);
+  constexpr std::size_t kFlood = 20;
+  Bytes burst;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.request_id = i + 1;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i + 1, 4));
+    svc::encode_frame(req, burst);
+  }
+  ASSERT_EQ(write(flood_fd, burst.data(), burst.size()),
+            ssize_t(burst.size()));
+
+  // Every frame gets a response — served or refused, never dropped.
+  Bytes got;
+  std::size_t served = 0, refused = 0;
+  std::uint8_t buf[16 * 1024];
+  while (served + refused < kFlood) {
+    const ssize_t n = read(flood_fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    got.insert(got.end(), buf, buf + n);
+    while (true) {
+      const auto d = svc::decode_frame(ByteSpan(got));
+      if (d.status != svc::Status::ok) break;
+      if (d.response.status == svc::Status::ok) {
+        ++served;
+      } else {
+        ASSERT_EQ(d.response.status, svc::Status::overloaded);
+        const auto hint = svc::decode_retry_after(ByteSpan(d.response.body));
+        ASSERT_TRUE(hint.has_value());
+        EXPECT_GT(*hint, 0u);
+      }
+      if (d.response.status != svc::Status::ok) ++refused;
+      got.erase(got.begin(), got.begin() + d.consumed);
+    }
+  }
+  close(flood_fd);
+  EXPECT_GE(served, 4u);   // the burst allowance
+  EXPECT_GE(refused, 1u);  // and the flood was actually refused
+  EXPECT_EQ(server.stats().throttled, std::uint64_t(refused));
+
+  // The compliant client sees normal service throughout.
+  svc::TcpClient compliant("127.0.0.1", server.port());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i + 1, 4));
+    const auto r = compliant.call(req);
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(r.response.status, svc::Status::ok) << i;
+  }
+}
+
+TEST(Tcp, ClientDeadlineCoversSilentServer) {
+  // A server that accepts but never answers: the call must return
+  // deadline_exceeded within the budget instead of blocking forever (the
+  // pre-PR6 client hung in a bare read()).
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  ASSERT_EQ(listen(listener, 8), 0);
+
+  svc::TcpClient client("127.0.0.1", ntohs(addr.sin_port),
+                        {.timeout_ms = 200});
+  svc::Request req;
+  req.method = svc::Method::status_query;
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = client.call(req);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(r.status, svc::Status::deadline_exceeded);
+  EXPECT_LT(elapsed, 2000);
+  EXPECT_FALSE(client.connected());  // the dead connection was torn down
+  close(listener);
+}
+
+TEST(Tcp, SlowLorisConnectionsAreClosed) {
+  // A connection dribbling bytes without ever completing a frame is closed
+  // once idle_timeout_ms passes — it cannot hold a slot forever.
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0, .idle_timeout_ms = 100});
+
+  const int fd = raw_connect(server.port());
+  ASSERT_GE(fd, 0);
+  const std::uint8_t teaser[2] = {0x00, 0x00};  // a frame's first bytes
+  ASSERT_EQ(write(fd, teaser, sizeof(teaser)), 2);
+
+  // The sweep runs on the epoll cadence; allow generous slack.
+  Bytes got;
+  std::uint8_t buf[256];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  ssize_t n = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    n = read(fd, buf, sizeof(buf));  // blocks until the server closes
+    if (n <= 0) break;
+    got.insert(got.end(), buf, buf + n);
+  }
+  EXPECT_EQ(n, 0);  // EOF: the server closed us, no response envelope
+  EXPECT_TRUE(got.empty());
+  close(fd);
+  EXPECT_GE(server.stats().idle_closed, 1u);
+  EXPECT_EQ(server.connection_count(), 0u);
 }
 
 }  // namespace

@@ -15,7 +15,9 @@ Only ratio metrics (speedups) are gated: absolute rates vary wildly across
 runner hardware, but "the incremental rebuild is N times faster than the
 seed cost model", "the warm status cache is N times faster than proving",
 and "snapshot+WAL restart is N times faster than full feed replay" should
-hold anywhere, so a big drop means a real regression, not a slow VM.
+hold anywhere, so a big drop means a real regression, not a slow VM. A small
+FLOORS list additionally gates same-run ratios against absolute minimums
+(no baseline needed).
 
 A gated metric missing from the *baseline* is reported as new and skipped
 (the gate starts holding once the refreshed baseline is committed); a gated
@@ -40,6 +42,16 @@ GATED = [
 INFORMATIONAL = [
     ("sha256_engine.batch64_speedup", "SHA-256 batch engine speedup"),
     ("sha256_engine.full_rebuild_speedup", "SHA-256 engine full-rebuild speedup"),
+]
+
+# Absolute floors, gated against the *current* run only (no baseline
+# comparison): these are already ratios of two rates measured in the same
+# process on the same hardware, so the floor is portable. Today that is the
+# resilience guarantee — a compliant client behind per-client quotas must
+# keep >= 70% of its quiet-server goodput while flooders hammer the server.
+FLOORS = [
+    ("svc_resilience.goodput_ratio", 0.70,
+     "compliant goodput under flood vs quiet baseline (quotas on)"),
 ]
 
 
@@ -97,6 +109,19 @@ def main():
             continue
         change = (cur - base) / base
         print(f"{path:<45} {base:>10.2f} {cur:>10.2f} {change:>+7.1%}  info")
+
+    for path, floor, label in FLOORS:
+        cur = lookup(current, path)
+        if cur is None:
+            print(f"{path:<45} {'-':>10} {'-':>10} {'':>8}  "
+                  f"FAIL (missing from current run)")
+            failed = True
+            continue
+        ok = cur >= floor
+        flag = "ok" if ok else f"FAIL (< floor {floor:.2f})"
+        print(f"{path:<45} {floor:>10.2f} {cur:>10.2f} {'':>8}  {flag}")
+        if not ok:
+            failed = True
 
     if failed:
         print("\nbenchmark regression detected", file=sys.stderr)

@@ -18,6 +18,7 @@
 #include "client/client.hpp"
 #include "dict/messages.hpp"
 #include "ra/service.hpp"
+#include "svc/resilient.hpp"
 #include "svc/tcp.hpp"
 
 using namespace ritm;
@@ -28,12 +29,18 @@ namespace {
   std::fprintf(stderr,
                "usage: ritm_query [--host H] [--port N] [--ca ID] "
                "[--serial HEX]... [--batch N] [--trust HEX]\n"
-               "  --host H     server address (default 127.0.0.1)\n"
-               "  --port N     server port (default 4717)\n"
-               "  --ca ID      CA to query (default CA-1)\n"
-               "  --serial HEX serial number to query (repeatable)\n"
-               "  --batch N    also time one batched envelope of N serials\n"
-               "  --trust HEX  CA public key; verify roots and proofs\n");
+               "                  [--timeout-ms N] [--retries N]\n"
+               "  --host H        server address (default 127.0.0.1)\n"
+               "  --port N        server port (default 4717)\n"
+               "  --ca ID         CA to query (default CA-1)\n"
+               "  --serial HEX    serial number to query (repeatable)\n"
+               "  --batch N       also time one batched envelope of N "
+               "serials\n"
+               "  --trust HEX     CA public key; verify roots and proofs\n"
+               "  --timeout-ms N  per-call deadline incl. connect "
+               "(default 10000)\n"
+               "  --retries N     retry retryable failures up to N attempts "
+               "with backoff (default 1 = no retry)\n");
   std::exit(2);
 }
 
@@ -52,6 +59,8 @@ int main(int argc, char** argv) {
   std::vector<cert::SerialNumber> serials;
   std::size_t batch = 0;
   std::string trust_hex;
+  int timeout_ms = 10'000;
+  std::uint32_t retries = 1;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage();
@@ -69,6 +78,10 @@ int main(int argc, char** argv) {
       batch = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--trust")) {
       trust_hex = next();
+    } else if (!std::strcmp(argv[i], "--timeout-ms")) {
+      timeout_ms = static_cast<int>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--retries")) {
+      retries = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else {
       usage();
     }
@@ -78,7 +91,14 @@ int main(int argc, char** argv) {
     serials.push_back(cert::SerialNumber::from_uint(42, 4));
   }
 
-  svc::TcpClient rpc(host, port);
+  svc::TcpClient tcp(host, port, {.timeout_ms = timeout_ms});
+  svc::RetryPolicy retry;
+  retry.max_attempts = retries == 0 ? 1 : retries;
+  retry.deadline_ms = std::uint64_t(timeout_ms) * retry.max_attempts;
+  svc::ResilientTransport resilient(&tcp, retry);
+  svc::Transport& rpc =
+      retries > 1 ? static_cast<svc::Transport&>(resilient)
+                  : static_cast<svc::Transport&>(tcp);
 
   // Optional validation context.
   cert::TrustStore roots;

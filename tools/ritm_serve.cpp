@@ -35,13 +35,23 @@ void on_signal(int) { g_stop = 1; }
   std::fprintf(stderr,
                "usage: ritm_serve [--port N] [--entries N] [--ca ID] "
                "[--delta SECONDS] [--max-conns N]\n"
-               "  --port N       TCP port to listen on (default 4717; 0 = "
-               "ephemeral)\n"
-               "  --entries N    revoked serials in the demo dictionary "
+               "                  [--quota-rps N] [--quota-burst N] "
+               "[--idle-timeout-ms N] [--retry-after-ms N]\n"
+               "  --port N             TCP port to listen on (default 4717; "
+               "0 = ephemeral)\n"
+               "  --entries N          revoked serials in the demo dictionary "
                "(default 100000)\n"
-               "  --ca ID        CA identifier (default CA-1)\n"
-               "  --delta N      update period in seconds (default 10)\n"
-               "  --max-conns N  connection limit (default 64)\n");
+               "  --ca ID              CA identifier (default CA-1)\n"
+               "  --delta N            update period in seconds (default 10)\n"
+               "  --max-conns N        connection limit (default 64)\n"
+               "  --quota-rps N        per-client request quota per second "
+               "(default 0 = off)\n"
+               "  --quota-burst N      per-client request burst size "
+               "(default 32)\n"
+               "  --idle-timeout-ms N  close connections idle this long "
+               "(default 0 = never)\n"
+               "  --retry-after-ms N   retry_after hint on sheds; floor of "
+               "the quota pause (default 100)\n");
   std::exit(2);
 }
 
@@ -58,6 +68,10 @@ int main(int argc, char** argv) {
   std::string ca_id = "CA-1";
   UnixSeconds delta = 10;
   std::size_t max_conns = 64;
+  double quota_rps = 0.0;
+  std::uint32_t quota_burst = 32;
+  std::uint32_t idle_timeout_ms = 0;
+  std::uint32_t retry_after_ms = 100;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--port")) {
       port = static_cast<std::uint16_t>(arg_u64(argc, argv, i));
@@ -70,6 +84,14 @@ int main(int argc, char** argv) {
       delta = static_cast<UnixSeconds>(arg_u64(argc, argv, i));
     } else if (!std::strcmp(argv[i], "--max-conns")) {
       max_conns = static_cast<std::size_t>(arg_u64(argc, argv, i));
+    } else if (!std::strcmp(argv[i], "--quota-rps")) {
+      quota_rps = double(arg_u64(argc, argv, i));
+    } else if (!std::strcmp(argv[i], "--quota-burst")) {
+      quota_burst = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
+    } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
+      idle_timeout_ms = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
+    } else if (!std::strcmp(argv[i], "--retry-after-ms")) {
+      retry_after_ms = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
     } else {
       usage();
     }
@@ -114,6 +136,10 @@ int main(int argc, char** argv) {
   svc::TcpServerOptions opts;
   opts.port = port;
   opts.max_connections = max_conns;
+  opts.requests_per_sec = quota_rps;
+  opts.burst_requests = quota_burst;
+  opts.idle_timeout_ms = idle_timeout_ms;
+  opts.retry_after_ms = retry_after_ms;
   svc::TcpServer server(&service, opts);
 
   const auto& key = ca.public_key();
@@ -127,6 +153,11 @@ int main(int argc, char** argv) {
   std::printf("  protocol    v%u; methods: status_query(4) status_batch(5) "
               "gossip_roots(3)\n",
               svc::kProtocolVersion);
+  if (quota_rps > 0.0 || idle_timeout_ms != 0) {
+    std::printf("  limits      quota %.0f req/s (burst %u), idle timeout "
+                "%u ms, retry_after %u ms\n",
+                quota_rps, quota_burst, idle_timeout_ms, retry_after_ms);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);
@@ -137,10 +168,13 @@ int main(int argc, char** argv) {
 
   const auto stats = server.stats();
   std::printf("\nritm_serve: %llu requests (%llu serials served, "
-              "%llu shed, %llu bad frames), %llu B in / %llu B out\n",
+              "%llu shed, %llu throttled, %llu idle-closed, %llu bad "
+              "frames), %llu B in / %llu B out\n",
               (unsigned long long)stats.requests,
               (unsigned long long)service.stats().serials_served,
               (unsigned long long)stats.shed_over_limit,
+              (unsigned long long)stats.throttled,
+              (unsigned long long)stats.idle_closed,
               (unsigned long long)stats.fatal_frames,
               (unsigned long long)stats.bytes_in,
               (unsigned long long)stats.bytes_out);
