@@ -665,6 +665,96 @@ int main() {
                 (unsigned long long)service.stats().serials_served);
   }
 
+  // --- multi-reactor scaling: aggregate batched-status RPS as the reactor
+  // count grows (the PR 7 headline). Each configuration runs max(2, R)
+  // client threads, every thread pipelining depth-4 batched status queries
+  // on its own connection against a server with R SO_REUSEPORT reactors.
+  // On a box with >= 8 cores the 4-reactor aggregate must clear 2.5x the
+  // 1-reactor number (tools/check_bench.py enforces the floor; on smaller
+  // machines the `cores` field documents why it cannot be measured).
+  const unsigned mc_reactor_counts[4] = {1, 2, 4, 8};
+  double mc_rps[4] = {0, 0, 0, 0};
+  const unsigned mc_cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  {
+    constexpr std::size_t kWorkingSet = 512;
+    constexpr std::size_t kMcBatch = 256;
+    constexpr std::size_t kMcDepth = 4;       // pipelined window per client
+    constexpr std::size_t kMcOpsPerThread = 40;  // batches per client thread
+    std::vector<cert::SerialNumber> probes;
+    probes.reserve(kWorkingSet);
+    for (std::size_t i = 0; i < kWorkingSet; ++i) {
+      probes.push_back(cert::SerialNumber::from_uint(i * 13 + 5, 4));
+    }
+    ra::RaService service(&store);
+
+    Table tm({"multi-reactor batched status", "serials/s", "vs 1 reactor"});
+    for (int ci = 0; ci < 4; ++ci) {
+      const unsigned reactors = mc_reactor_counts[ci];
+      svc::TcpServer server(&service, {.port = 0, .reactors = reactors});
+      const unsigned n_threads = std::max(2u, reactors);
+
+      std::atomic<bool> go{false};
+      std::atomic<bool> failed{false};
+      std::vector<std::thread> clients;
+      for (unsigned t = 0; t < n_threads; ++t) {
+        clients.emplace_back([&, t] {
+          svc::TcpClient tcp("127.0.0.1", server.port(),
+                             {.max_inflight = kMcDepth});
+          std::vector<cert::SerialNumber> batch(kMcBatch);
+          for (std::size_t j = 0; j < kMcBatch; ++j) {
+            batch[j] = probes[(t * kMcBatch + j) % kWorkingSet];
+          }
+          svc::Request req;
+          req.method = svc::Method::status_batch;
+          req.body = ra::encode_status_batch(ca.id(), batch);
+          while (!go.load(std::memory_order_acquire)) {
+          }
+          std::vector<std::uint64_t> window;
+          for (std::size_t op = 0; op < kMcOpsPerThread; ++op) {
+            if (window.size() == kMcDepth) {
+              if (!tcp.collect(window.front()).ok()) {
+                failed.store(true);
+                return;
+              }
+              window.erase(window.begin());
+            }
+            std::uint64_t id = 0;
+            if (tcp.submit(req, &id) != svc::Status::ok) {
+              failed.store(true);
+              return;
+            }
+            window.push_back(id);
+          }
+          for (const auto id : window) {
+            if (!tcp.collect(id).ok()) {
+              failed.store(true);
+              return;
+            }
+          }
+        });
+      }
+      const auto start = std::chrono::steady_clock::now();
+      go.store(true, std::memory_order_release);
+      for (auto& c : clients) c.join();
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      if (failed.load()) {
+        std::printf("multicore scaling run failed (reactors=%u)\n", reactors);
+        return 1;
+      }
+      mc_rps[ci] = rate_per_sec(
+          std::size_t(n_threads) * kMcOpsPerThread * kMcBatch, elapsed);
+      tm.add_row({std::to_string(reactors) + " reactors, " +
+                      std::to_string(n_threads) + " clients",
+                  Table::num(mc_rps[ci], 0),
+                  Table::num(mc_rps[ci] / mc_rps[0], 2) + "x"});
+    }
+    std::printf("\n== multi-reactor scaling (%u hardware threads) ==\n%s",
+                mc_cores, tm.render().c_str());
+  }
+  const double mc_factor_at_2 = mc_rps[1] / mc_rps[0];
+  const double mc_factor_at_4 = mc_rps[2] / mc_rps[0];
+
   // --- resilience: compliant goodput under a misbehaving flood (the PR 6
   // headline). A compliant client runs batched status queries (well under
   // the per-client request quota) while flooder connections hammer
@@ -864,7 +954,16 @@ int main() {
                  "    \"tcp_single_rps\": %.0f,\n"
                  "    \"tcp_batch_rps\": %.0f,\n"
                  "    \"inproc_single_rps\": %.0f,\n"
-                 "    \"batch_speedup\": %.2f\n"
+                 "    \"batch_speedup\": %.2f,\n"
+                 "    \"multicore_scaling\": {\n"
+                 "      \"cores\": %u,\n"
+                 "      \"rps_1\": %.0f,\n"
+                 "      \"rps_2\": %.0f,\n"
+                 "      \"rps_4\": %.0f,\n"
+                 "      \"rps_8\": %.0f,\n"
+                 "      \"factor_at_2\": %.2f,\n"
+                 "      \"factor_at_4\": %.2f\n"
+                 "    }\n"
                  "  },\n"
                  "  \"svc_resilience\": {\n"
                  "    \"batch_size\": %zu,\n"
@@ -894,7 +993,9 @@ int main() {
                  (unsigned long long)kRecTailPeriods, recovery_replay_ms,
                  recovery_recover_ms, recovery_speedup, kSvcBatch,
                  svc_single_rps, svc_batch_rps, svc_inproc_single_rps,
-                 svc_batch_speedup, kResBatch, kResFlooders,
+                 svc_batch_speedup, mc_cores, mc_rps[0], mc_rps[1],
+                 mc_rps[2], mc_rps[3], mc_factor_at_2, mc_factor_at_4,
+                 kResBatch, kResFlooders,
                  res_baseline_rps, res_quota_rps, res_noquota_rps,
                  res_refused, res_goodput_ratio);
     std::fclose(f);
@@ -918,6 +1019,11 @@ int main() {
     std::printf("WARNING: batched status envelopes only %.1fx the RPS of "
                 "single-serial requests (acceptance floor: 3x)\n",
                 svc_batch_speedup);
+  }
+  if (mc_cores >= 8 && mc_factor_at_4 < 2.5) {
+    std::printf("WARNING: 4-reactor aggregate RPS only %.2fx the 1-reactor "
+                "number on %u cores (acceptance floor: 2.5x)\n",
+                mc_factor_at_4, mc_cores);
   }
   if (res_goodput_ratio < 0.7) {
     std::printf("WARNING: compliant goodput under flood only %.2fx of the "

@@ -109,12 +109,25 @@ svc::ServeResult RaService::handle(const svc::Request& req) {
       out.response = svc::reject(req, svc::Status::unknown_method);
       break;
   }
-  if (out.response.status != svc::Status::ok) ++stats_.rejected;
+  if (out.response.status != svc::Status::ok) {
+    stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+  }
   return out;
 }
 
+RaService::Stats RaService::stats() const noexcept {
+  Stats s;
+  s.single_queries = stats_.single_queries.load(std::memory_order_relaxed);
+  s.batch_queries = stats_.batch_queries.load(std::memory_order_relaxed);
+  s.serials_served = stats_.serials_served.load(std::memory_order_relaxed);
+  s.gossip_exchanges =
+      stats_.gossip_exchanges.load(std::memory_order_relaxed);
+  s.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  return s;
+}
+
 svc::Response RaService::status_query(const svc::Request& req) {
-  ++stats_.single_queries;
+  stats_.single_queries.fetch_add(1, std::memory_order_relaxed);
   ByteReader r(ByteSpan(req.body));
   const auto ca_bytes = r.try_var8();
   const auto serial_bytes = r.try_var8();
@@ -130,12 +143,12 @@ svc::Response RaService::status_query(const svc::Request& req) {
   svc::Response resp;
   resp.request_id = req.request_id;
   resp.body = *cached->bytes;
-  ++stats_.serials_served;
+  stats_.serials_served.fetch_add(1, std::memory_order_relaxed);
   return resp;
 }
 
 svc::Response RaService::status_batch(const svc::Request& req) {
-  ++stats_.batch_queries;
+  stats_.batch_queries.fetch_add(1, std::memory_order_relaxed);
   ByteReader r(ByteSpan(req.body));
   const auto ca_bytes = r.try_var8();
   const auto count = r.try_u32();
@@ -166,16 +179,21 @@ svc::Response RaService::status_batch(const svc::Request& req) {
     w.var24(ByteSpan(*cached->bytes));
   }
   if (!r.done()) return svc::reject(req, svc::Status::malformed);
-  stats_.serials_served += *count;
+  stats_.serials_served.fetch_add(*count, std::memory_order_relaxed);
   return resp;
 }
 
 svc::Response RaService::gossip_roots(const svc::Request& req) {
-  ++stats_.gossip_exchanges;
+  stats_.gossip_exchanges.fetch_add(1, std::memory_order_relaxed);
   if (gossip_ == nullptr) return svc::reject(req, svc::Status::unavailable);
   ByteReader r(ByteSpan(req.body));
   const auto count = r.try_u32();
   if (!count) return svc::reject(req, svc::Status::malformed);
+
+  // GossipPool is not thread-safe and gossip is off the hot path: one lock
+  // covers the snapshot and the observes so a concurrent exchange cannot
+  // interleave between them.
+  std::lock_guard<std::mutex> lock(gossip_mu_);
 
   // Snapshot our observations *before* absorbing the peer's, mirroring the
   // symmetric copy-snapshot semantics of GossipPool::exchange.

@@ -10,7 +10,9 @@
 // once per serial (`svc_status.batch_speedup` in BENCH_throughput.json).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "ra/gossip.hpp"
@@ -47,6 +49,12 @@ struct GossipReply {
 };
 std::optional<GossipReply> decode_gossip_reply(ByteSpan body);
 
+/// Thread safety: handle() may be called concurrently from the TCP
+/// server's reactors — the status paths ride the store's sharded cache
+/// (concurrent readers), counters are relaxed atomics, and the gossip
+/// exchange (GossipPool is not thread-safe, and it is off the hot path)
+/// is serialized behind its own mutex. Mutating the underlying store
+/// still requires external serialization against handle().
 class RaService final : public svc::Service {
  public:
   /// `gossip` may be null: gossip_roots then answers `unavailable`. Both
@@ -63,7 +71,8 @@ class RaService final : public svc::Service {
     std::uint64_t gossip_exchanges = 0;
     std::uint64_t rejected = 0;  // non-ok responses
   };
-  const Stats& stats() const noexcept { return stats_; }
+  /// Snapshot of the counters (coherent per field under concurrency).
+  Stats stats() const noexcept;
 
  private:
   svc::Response status_query(const svc::Request& req);
@@ -72,7 +81,15 @@ class RaService final : public svc::Service {
 
   const DictionaryStore* store_;
   GossipPool* gossip_;
-  Stats stats_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> single_queries{0};
+    std::atomic<std::uint64_t> batch_queries{0};
+    std::atomic<std::uint64_t> serials_served{0};
+    std::atomic<std::uint64_t> gossip_exchanges{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
+  AtomicStats stats_;
+  std::mutex gossip_mu_;
 };
 
 }  // namespace ritm::ra

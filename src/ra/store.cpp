@@ -225,28 +225,36 @@ std::optional<dict::RevocationStatus> DictionaryStore::status_for(
   return assemble_status(*state, serial);
 }
 
-void DictionaryStore::evict_for(const CaState& state, std::size_t need) const {
-  auto& ring = state.cache_ring;
-  while (!ring.empty() && state.cache_bytes + need > status_cache_budget_) {
-    if (state.cache_hand >= ring.size()) state.cache_hand = 0;
-    const std::string* key = ring[state.cache_hand];
-    auto it = state.status_cache.find(*key);
+std::size_t DictionaryStore::shard_budget() const noexcept {
+  return std::max(status_cache_budget_.load(std::memory_order_relaxed) /
+                      kCacheShards,
+                  kCacheShardMinBudget);
+}
+
+void DictionaryStore::evict_for(CaState::CacheShard& shard,
+                                std::size_t need) const {
+  const std::size_t budget = shard_budget();
+  auto& ring = shard.ring;
+  while (!ring.empty() && shard.bytes + need > budget) {
+    if (shard.hand >= ring.size()) shard.hand = 0;
+    const std::string* key = ring[shard.hand];
+    auto it = shard.map.find(*key);
     if (it->second.ref) {
       // Second chance: referenced since the hand last came by.
       it->second.ref = false;
-      ++state.cache_hand;
+      ++shard.hand;
       continue;
     }
     const std::size_t freed =
-        key->size() + it->second.bytes.size() + kCacheEntryOverhead;
-    state.cache_bytes -= freed;
-    ++cache_stats_.evictions;
-    cache_stats_.evicted_bytes += freed;
+        key->size() + it->second.bytes->size() + kCacheEntryOverhead;
+    shard.bytes -= freed;
+    cache_stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    cache_stats_.evicted_bytes.fetch_add(freed, std::memory_order_relaxed);
     // Swap-remove the slot; the moved slot takes over the hand position and
     // gets examined next, which preserves the sweep.
-    ring[state.cache_hand] = ring.back();
+    ring[shard.hand] = ring.back();
     ring.pop_back();
-    state.status_cache.erase(it);
+    shard.map.erase(it);
   }
 }
 
@@ -255,58 +263,84 @@ std::optional<DictionaryStore::CachedStatus> DictionaryStore::status_bytes_for(
   const CaState* state = find(ca);
   if (state == nullptr || !state->have_root) return std::nullopt;
 
-  // Validate the cache against the replica version; any root or freshness
-  // transition since the last lookup drops the CA's cache wholesale. The
-  // epochs advance on every accepted mutation (including rollbacks), so a
-  // status proven against an old root can never survive into a new one.
-  const std::uint64_t epoch = state->dict.epoch();
-  if (state->cache_epoch != epoch ||
-      state->cache_freshness_seq != state->freshness_seq) {
-    if (!state->status_cache.empty()) {
-      state->status_cache.clear();
-      state->cache_ring.clear();
-      state->cache_hand = 0;
-      state->cache_bytes = 0;
-      ++cache_stats_.invalidations;
-    }
-    state->cache_epoch = epoch;
-    state->cache_freshness_seq = state->freshness_seq;
-  }
-
   const std::string_view key(
       reinterpret_cast<const char*>(serial.value.data()),
       serial.value.size());
-  auto it = state->status_cache.find(key);
-  if (it == state->status_cache.end()) {
-    ++cache_stats_.misses;
+  // Shard selection mixes the serial's first and last bytes instead of
+  // hashing the whole key (map.find hashes it again anyway): serials are
+  // high-entropy by construction, so two bytes spread uniformly, and the
+  // warm hit path saves one full string hash.
+  const std::size_t shard_ix =
+      key.empty() ? 0
+                  : (std::uint8_t(key.front()) * 31u ^
+                     std::uint8_t(key.back())) %
+                        kCacheShards;
+  CaState::CacheShard& shard = state->cache.shards[shard_ix];
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  // Validate the shard against the replica version; any root or freshness
+  // transition since this shard's last lookup drops it wholesale. The
+  // epochs advance on every accepted mutation (including rollbacks), so a
+  // status proven against an old root can never survive into a new one —
+  // and since writers only bump the version counters, invalidation costs
+  // them no cache lock.
+  const std::uint64_t epoch = state->dict.epoch();
+  if (shard.epoch != epoch || shard.freshness_seq != state->freshness_seq) {
+    if (!shard.map.empty()) {
+      shard.map.clear();
+      shard.ring.clear();
+      shard.hand = 0;
+      shard.bytes = 0;
+      cache_stats_.invalidations.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.epoch = epoch;
+    shard.freshness_seq = state->freshness_seq;
+  }
+
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    cache_stats_.misses.fetch_add(1, std::memory_order_relaxed);
     const dict::RevocationStatus status = assemble_status(*state, serial);
-    Bytes encoded;
-    encoded.reserve(status.wire_size());
-    status.encode_into(encoded);
-    // Make room under the byte budget before admitting the new entry (a
-    // single entry larger than the whole budget is still admitted — the
-    // cache then holds exactly that entry).
+    auto encoded = std::make_shared<Bytes>();
+    encoded->reserve(status.wire_size());
+    status.encode_into(*encoded);
+    // Make room under the shard's budget slice before admitting the new
+    // entry (a single entry larger than the whole slice is still admitted —
+    // the shard then holds exactly that entry).
     const std::size_t need =
-        key.size() + encoded.size() + kCacheEntryOverhead;
-    evict_for(*state, need);
+        key.size() + encoded->size() + kCacheEntryOverhead;
+    evict_for(shard, need);
     CaState::CacheEntry entry;
     entry.bytes = std::move(encoded);
     entry.ref = true;
-    it = state->status_cache.emplace(std::string(key), std::move(entry))
-             .first;
-    state->cache_ring.push_back(&it->first);
-    state->cache_bytes += need;
+    it = shard.map.emplace(std::string(key), std::move(entry)).first;
+    shard.ring.push_back(&it->first);
+    shard.bytes += need;
   } else {
-    ++cache_stats_.hits;
+    cache_stats_.hits.fetch_add(1, std::memory_order_relaxed);
     // Keep hot serials warm across evictions; test-before-set so steady-
     // state hits never dirty the entry's cache line.
     if (!it->second.ref) it->second.ref = true;
   }
-  // Note: rehashing on insert moves buckets, not elements — the Bytes the
-  // returned pointer refers to stays put until the cache is invalidated or
-  // the entry is evicted.
-  return CachedStatus{&it->second.bytes, state->root.n, state->root.timestamp,
-                      epoch};
+  CachedStatus out;
+  out.owned = it->second.bytes;  // pins the encoding past the shard lock
+  out.bytes = out.owned.get();
+  out.n = state->root.n;
+  out.timestamp = state->root.timestamp;
+  out.epoch = epoch;
+  return out;
+}
+
+DictionaryStore::CacheStats DictionaryStore::cache_stats() const noexcept {
+  CacheStats s;
+  s.hits = cache_stats_.hits.load(std::memory_order_relaxed);
+  s.misses = cache_stats_.misses.load(std::memory_order_relaxed);
+  s.invalidations =
+      cache_stats_.invalidations.load(std::memory_order_relaxed);
+  s.evictions = cache_stats_.evictions.load(std::memory_order_relaxed);
+  s.evicted_bytes =
+      cache_stats_.evicted_bytes.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::uint64_t DictionaryStore::have_n(const cert::CaId& ca) const {
@@ -352,8 +386,11 @@ std::size_t DictionaryStore::memory_bytes() const {
     // The warm status cache can dominate a serving RA's footprint; its
     // budgeted accounting already covers keys, encoded statuses, and
     // per-entry bookkeeping.
-    total += state.cache_bytes +
-             state.cache_ring.capacity() * sizeof(const std::string*);
+    for (auto& shard : state.cache.shards) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total +=
+          shard.bytes + shard.ring.capacity() * sizeof(const std::string*);
+    }
   }
   return total;
 }
@@ -396,18 +433,10 @@ void DictionaryStore::restore_from(ByteReader& r) {
   if (!count) throw bad("truncated header");
 
   // Stage into a copy so a failure at any CA leaves the store untouched.
-  // Every staged cache is dropped up front: the copied cache_ring pointers
-  // target the *original* map's keys, which die when the stage is
-  // committed — and a restore is a version change for every replica anyway.
+  // Staged caches start cold by construction (StatusCache's copy semantics
+  // drop the cache): a restore is a version change for every replica
+  // anyway, and the first post-restore lookup per shard starts clean.
   std::map<cert::CaId, CaState> staged = cas_;
-  for (auto& [ca, state] : staged) {
-    state.status_cache.clear();
-    state.cache_ring.clear();
-    state.cache_hand = 0;
-    state.cache_bytes = 0;
-    state.cache_epoch = state.dict.epoch();
-    state.cache_freshness_seq = state.freshness_seq;
-  }
   for (std::uint32_t i = 0; i < *count; ++i) {
     const auto ca_bytes = r.try_var16();
     if (!ca_bytes) throw bad("truncated CA id");
@@ -446,10 +475,8 @@ void DictionaryStore::restore_from(ByteReader& r) {
                             state.dict.size() != state.root.n)) {
       throw bad("dictionary does not match signed root");
     }
-    // Caches rebuild lazily: re-key the (emptied) cache to the restored
-    // version so the first lookup starts clean.
-    state.cache_epoch = state.dict.epoch();
-    state.cache_freshness_seq = state.freshness_seq;
+    // Caches rebuild lazily: each (cold) shard restamps itself to the
+    // restored version on its first lookup.
   }
   cas_ = std::move(staged);
 }

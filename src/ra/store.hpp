@@ -15,6 +15,19 @@
 // cardinality (attacker-controlled) serials evict cold entries one at a
 // time while hot serials keep their ref bit and stay warm.
 //
+// Concurrency (PR 7): the per-CA cache is split into kCacheShards
+// serial-hash shards, each with its own mutex, CLOCK ring, and
+// (epoch, freshness_seq) stamp, so the multi-reactor TCP server's serving
+// threads contend only when they race on the same shard of the same CA.
+// Invalidation is lazy — apply_* paths bump the version counters and never
+// touch a shard lock, so writers share no locks with readers; each shard
+// notices the stamp mismatch and clears itself on its next lookup. Cache
+// entries own their bytes through a shared_ptr which CachedStatus holds,
+// so returned bytes survive concurrent eviction. The contract is
+// concurrent *readers* (status_for / status_bytes_for) against each other;
+// mutations (apply_*, restore_from) still require external serialization
+// against readers, exactly like the dictionaries underneath.
+//
 // Durability (PR 4): attach_wal() makes the store log every accepted
 // mutation to a persist::WriteAheadLog; persist_to()/recover_from() write
 // and reload atomic snapshots, replaying the WAL tail through the same
@@ -23,8 +36,12 @@
 // surviving prefix.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -95,12 +112,14 @@ class DictionaryStore {
   /// the agent needs for the multi-RA freshness comparison without decoding.
   struct CachedStatus {
     /// Wire encoding of the RevocationStatus (what attach_status_bytes
-    /// copies into the packet). Valid until the next store mutation or
-    /// capacity eviction.
+    /// copies into the packet). Kept alive by `owned` below, so the view
+    /// stays valid even if a concurrent lookup evicts or invalidates the
+    /// entry after this returns.
     const Bytes* bytes = nullptr;
     std::uint64_t n = 0;          // signed_root.n
     UnixSeconds timestamp = 0;    // signed_root.timestamp
     std::uint64_t epoch = 0;      // dictionary epoch the proof is against
+    std::shared_ptr<const Bytes> owned;  // lifetime anchor for `bytes`
   };
 
   struct CacheStats {
@@ -117,13 +136,24 @@ class DictionaryStore {
   /// under a flood of one-shot probes keep their ref bit and stay warm.
   static constexpr std::size_t kStatusCacheDefaultBudget = 32u << 20;
 
+  /// Serial-hash shards per CA cache: serving threads racing on one CA
+  /// contend only within a shard, and lazy invalidation is per shard.
+  static constexpr std::size_t kCacheShards = 8;
+
+  /// Floor on each shard's slice of the budget: tiny budgets still leave
+  /// every shard enough slots for CLOCK's second chance to mean something
+  /// (a 1–2 entry shard degrades to FIFO and evicts its own hot entries).
+  static constexpr std::size_t kCacheShardMinBudget = 4096;
+
   /// Adjusts the per-CA cache byte budget (shrinking takes effect at each
-  /// CA's next miss). Budgets below one entry still admit a single entry.
+  /// shard's next miss). The budget is split evenly across kCacheShards,
+  /// floored at kCacheShardMinBudget per shard; budgets below one entry
+  /// still admit a single entry per shard.
   void set_status_cache_budget(std::size_t bytes) noexcept {
-    status_cache_budget_ = bytes;
+    status_cache_budget_.store(bytes, std::memory_order_relaxed);
   }
   std::size_t status_cache_budget() const noexcept {
-    return status_cache_budget_;
+    return status_cache_budget_.load(std::memory_order_relaxed);
   }
 
   /// The warm serving path: returns the cached encoded status for
@@ -134,7 +164,9 @@ class DictionaryStore {
   std::optional<CachedStatus> status_bytes_for(
       const cert::CaId& ca, const cert::SerialNumber& serial) const;
 
-  const CacheStats& cache_stats() const noexcept { return cache_stats_; }
+  /// Snapshot of the cache counters (atomics, coherent per field; one
+  /// field can lead another by an in-flight lookup under concurrency).
+  CacheStats cache_stats() const noexcept;
 
   /// Number of consecutive revocations held for `ca` (the sync cursor).
   std::uint64_t have_n(const cert::CaId& ca) const;
@@ -237,9 +269,12 @@ class DictionaryStore {
     std::uint64_t freshness_seq = 0;
     // Serial → encoded RevocationStatus, valid for exactly one
     // (dict epoch, freshness_seq) pair, bounded by the byte budget with
-    // CLOCK second-chance eviction. Heterogeneous lookup keeps the warm
-    // path allocation-free (the serial bytes are viewed, not copied, until
-    // an insert). Mutable: serving is logically const.
+    // CLOCK second-chance eviction. Split into serial-hash shards, each
+    // self-contained behind its own mutex: lookups under concurrency
+    // contend per shard, and each shard validates its own version stamp
+    // lazily (writers never take cache locks). Heterogeneous lookup keeps
+    // the warm path allocation-free (the serial bytes are viewed, not
+    // copied, until an insert). Mutable: serving is logically const.
     struct TransparentHash {
       using is_transparent = void;
       std::size_t operator()(std::string_view s) const noexcept {
@@ -247,20 +282,35 @@ class DictionaryStore {
       }
     };
     struct CacheEntry {
-      Bytes bytes;
+      /// shared_ptr-owned so a CachedStatus handed to a serving thread
+      /// outlives eviction/invalidation by a concurrent lookup.
+      std::shared_ptr<const Bytes> bytes;
       bool ref = false;  // CLOCK second-chance bit
     };
-    mutable std::unordered_map<std::string, CacheEntry, TransparentHash,
-                               std::equal_to<>>
-        status_cache;
-    /// CLOCK ring: one slot per cached serial (pointers into the map's
-    /// node-stable keys). The hand sweeps slots, clearing ref bits, and
-    /// evicts the first entry found cold.
-    mutable std::vector<const std::string*> cache_ring;
-    mutable std::size_t cache_hand = 0;
-    mutable std::size_t cache_bytes = 0;  // budgeted footprint of the cache
-    mutable std::uint64_t cache_epoch = 0;
-    mutable std::uint64_t cache_freshness_seq = 0;
+    struct CacheShard {
+      std::mutex mu;
+      std::unordered_map<std::string, CacheEntry, TransparentHash,
+                         std::equal_to<>>
+          map;
+      /// CLOCK ring: one slot per cached serial (pointers into the map's
+      /// node-stable keys). The hand sweeps slots, clearing ref bits, and
+      /// evicts the first entry found cold.
+      std::vector<const std::string*> ring;
+      std::size_t hand = 0;
+      std::size_t bytes = 0;  // budgeted footprint of this shard
+      std::uint64_t epoch = 0;
+      std::uint64_t freshness_seq = 0;
+    };
+    struct StatusCache {
+      std::array<CacheShard, kCacheShards> shards;
+      StatusCache() = default;
+      // Replica copies (restore_from staging) never carry the cache: a
+      // restore is a version change for every CA anyway, and shard mutexes
+      // are not copyable. Copies start cold and re-fill lazily.
+      StatusCache(const StatusCache&) {}
+      StatusCache& operator=(const StatusCache&) { return *this; }
+    };
+    mutable StatusCache cache;
   };
 
   /// Budget accounting per cache entry beyond key + encoded bytes: map node
@@ -277,9 +327,13 @@ class DictionaryStore {
   /// it on success.
   bool accept_freshness(CaState& state, const crypto::Digest20& statement,
                         UnixSeconds now);
-  /// CLOCK second-chance: evicts cold entries from `state`'s cache until
-  /// `need` more bytes fit under the budget (or the cache is empty).
-  void evict_for(const CaState& state, std::size_t need) const;
+  /// Each shard's slice of the byte budget (floored at
+  /// kCacheShardMinBudget so CLOCK keeps enough slots to be meaningful).
+  std::size_t shard_budget() const noexcept;
+  /// CLOCK second-chance: evicts cold entries from `shard` (whose mutex the
+  /// caller holds) until `need` more bytes fit under the shard's budget
+  /// slice (or the shard is empty).
+  void evict_for(CaState::CacheShard& shard, std::size_t need) const;
   /// Raw WAL append with the sequence counter floored past mutation_seq()
   /// (a reopened post-checkpoint log restarts at 1, which would place new
   /// records below the snapshot's stamp and lose them at the next
@@ -289,9 +343,19 @@ class DictionaryStore {
   /// replaying or with no WAL attached).
   void log_mutation(std::uint8_t type, UnixSeconds now, ByteSpan message);
 
+  /// Relaxed atomics: serving threads bump these concurrently; cache_stats()
+  /// snapshots them into the plain CacheStats struct.
+  struct AtomicCacheStats {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> invalidations{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> evicted_bytes{0};
+  };
+
   std::map<cert::CaId, CaState> cas_;
-  mutable CacheStats cache_stats_;
-  std::size_t status_cache_budget_ = kStatusCacheDefaultBudget;
+  mutable AtomicCacheStats cache_stats_;
+  std::atomic<std::size_t> status_cache_budget_{kStatusCacheDefaultBudget};
   persist::WriteAheadLog* wal_ = nullptr;
   std::uint64_t mutation_seq_ = 0;
   bool replaying_ = false;  // recover_from() replay must not re-log

@@ -54,9 +54,37 @@ CallResult FaultTransport::fail(Status status) {
 }
 
 CallResult FaultTransport::call(const Request& req) {
-  ++stats_.calls;
   Request stamped = req;
   if (stamped.request_id == 0) stamped.request_id = next_id_++;
+  return perform(stamped);
+}
+
+Status FaultTransport::submit(const Request& req, std::uint64_t* id_out) {
+  Request stamped = req;
+  if (stamped.request_id == 0) stamped.request_id = next_id_++;
+  if (pending_.count(stamped.request_id) != 0) {
+    return Status::transport_error;  // id already outstanding
+  }
+  const std::uint64_t id = stamped.request_id;
+  pending_.emplace(id, std::move(stamped));
+  if (id_out != nullptr) *id_out = id;
+  return Status::ok;
+}
+
+CallResult FaultTransport::collect(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    CallResult r;
+    r.status = Status::transport_error;  // never submitted (or collected twice)
+    return r;
+  }
+  Request stamped = std::move(it->second);
+  pending_.erase(it);
+  return perform(stamped);
+}
+
+CallResult FaultTransport::perform(const Request& stamped) {
+  ++stats_.calls;
 
   // A stashed duplicate is the first thing on the "wire": the stale frame
   // arrives before anything sent now, exactly like a delayed copy on a

@@ -20,7 +20,9 @@
 // converges, zero hangs" over thousands of seeds.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 
 #include "common/rng.hpp"
@@ -90,11 +92,25 @@ class FaultTransport final : public Transport {
 
   CallResult call(const Request& req) override;
 
+  /// Pipelined interface mirroring TcpClient::submit/collect: submit stamps
+  /// and parks the request, collect runs it through the fault schedule. The
+  /// fault draw happens at collect time — that is when the exchange hits
+  /// the "wire" — so a seed's schedule is a function of the *collect
+  /// order*: permuting collects permutes the faults, which is what the
+  /// pipelined fault-matrix seed bank exercises. A stashed duplicate
+  /// surfaces on whichever collect comes next, so with >1 outstanding the
+  /// stale frame lands on an arbitrary caller, whose request_id check must
+  /// reject it.
+  Status submit(const Request& req, std::uint64_t* id_out = nullptr);
+  CallResult collect(std::uint64_t request_id);
+  std::size_t inflight() const noexcept { return pending_.size(); }
+
   const FaultStats& stats() const noexcept { return stats_; }
 
  private:
   Fault draw();
   CallResult fail(Status status);
+  CallResult perform(const Request& stamped);
 
   Transport* inner_;
   Rng rng_;
@@ -106,6 +122,8 @@ class FaultTransport final : public Transport {
   /// delivered to the *next* call (its request_id will not match — a
   /// resilient caller detects the mismatch and retries).
   std::optional<Response> stale_;
+  /// Requests submitted but not yet collected (pipelined interface).
+  std::map<std::uint64_t, Request> pending_;
 };
 
 }  // namespace ritm::svc

@@ -499,5 +499,101 @@ TEST(FaultMatrix, BatchedQueriesByteIdenticalUnderFaults) {
   }
 }
 
+TEST(FaultMatrix, PipelinedSchedulesConvergeUnderPermutedCollects) {
+  // The pipelined seed bank: 8 logical requests outstanding at once
+  // through FaultTransport's submit/collect face, collected in a
+  // seed-permuted order. Because faults are drawn at collect time, the
+  // permutation itself reshuffles the schedule — duplicates stashed by one
+  // collect surface on an arbitrary later one, so the driver must reject
+  // by request_id and resubmit. Every schedule converges to the fault-free
+  // oracle's bytes within a bounded retry budget (max_consecutive forces a
+  // clean call through every 7th collect at the latest).
+  constexpr int kSchedules = 300;
+  constexpr std::size_t kLogical = 8;
+
+  auto ca = make_ca(901);
+  ra::DictionaryStore store;
+  store.register_ca(ca.id(), ca.public_key(), ca.delta());
+  std::vector<SerialNumber> revoked;
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    revoked.push_back(SerialNumber::from_uint(i * 3, 4));
+  }
+  ASSERT_EQ(store.apply_issuance(ca.revoke(revoked, 1000), 1000),
+            ra::ApplyResult::ok);
+  ra::RaService service(&store);
+  svc::InProcessTransport rpc(&service);
+
+  std::vector<svc::Request> stream;
+  std::vector<svc::Response> want;
+  for (std::uint64_t i = 0; i < kLogical; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body =
+        ra::encode_status_query(ca.id(), SerialNumber::from_uint(i * 9, 4));
+    want.push_back(rpc.call(req).response);
+    stream.push_back(std::move(req));
+  }
+
+  svc::FaultStats aggregate;
+  std::uint64_t resubmits = 0;
+  for (int si = 0; si < kSchedules; ++si) {
+    const auto seed = 77'000 + std::uint64_t(si);
+    svc::FaultTransport fault(&rpc, seed);
+    Rng perm(seed ^ 0xC0117EC7);
+
+    std::vector<std::uint64_t> id_of(kLogical, 0);
+    std::vector<bool> done(kLogical, false);
+    for (std::size_t i = 0; i < kLogical; ++i) {
+      ASSERT_EQ(fault.submit(stream[i], &id_of[i]), svc::Status::ok);
+    }
+    EXPECT_EQ(fault.inflight(), kLogical);
+
+    std::size_t remaining = kLogical;
+    int guard = 0;
+    while (remaining > 0 && ++guard <= int(kLogical) * 64) {
+      // Collect a random still-open logical request: the permutation is
+      // part of the seed, so the whole schedule stays reproducible.
+      std::vector<std::size_t> open;
+      for (std::size_t i = 0; i < kLogical; ++i) {
+        if (!done[i]) open.push_back(i);
+      }
+      const std::size_t j = open[perm.uniform(open.size())];
+      const auto r = fault.collect(id_of[j]);
+      const bool wrong_id =
+          r.status == svc::Status::ok && r.response.request_id != id_of[j];
+      if (r.status != svc::Status::ok || wrong_id ||
+          r.response.status != svc::Status::ok) {
+        // Injected failure, a stale duplicate of an earlier call, or a
+        // served refusal: resubmit under a fresh id, bounded by `guard`.
+        ++resubmits;
+        ASSERT_EQ(fault.submit(stream[j], &id_of[j]), svc::Status::ok)
+            << "seed " << seed;
+        continue;
+      }
+      EXPECT_EQ(r.response.body, want[j].body)
+          << "seed " << seed << " logical " << j;
+      done[j] = true;
+      --remaining;
+    }
+    ASSERT_EQ(remaining, 0u) << "seed " << seed << " did not converge";
+    EXPECT_EQ(fault.inflight(), 0u) << "seed " << seed;
+
+    const auto& fs = fault.stats();
+    aggregate.calls += fs.calls;
+    aggregate.duplicates += fs.duplicates;
+    aggregate.stale_delivered += fs.stale_delivered;
+    aggregate.drop_request += fs.drop_request;
+    aggregate.corruptions += fs.corruptions;
+    aggregate.resets += fs.resets;
+  }
+  // The bank actually exercised the adversarial pipelined path.
+  EXPECT_GT(aggregate.duplicates, 0u);
+  EXPECT_GT(aggregate.stale_delivered, 0u);
+  EXPECT_GT(aggregate.drop_request, 0u);
+  EXPECT_GT(aggregate.corruptions, 0u);
+  EXPECT_GT(aggregate.resets, 0u);
+  EXPECT_GT(resubmits, 0u);
+}
+
 }  // namespace
 }  // namespace ritm

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "ra/service.hpp"
 #include "ra/store.hpp"
 #include "ra/updater.hpp"
+#include "svc/fault.hpp"
+#include "svc/resilient.hpp"
 #include "svc/tcp.hpp"
 
 namespace ritm {
@@ -1011,6 +1014,330 @@ TEST(Tcp, SlowLorisConnectionsAreClosed) {
   close(fd);
   EXPECT_GE(server.stats().idle_closed, 1u);
   EXPECT_EQ(server.connection_count(), 0u);
+}
+
+// --------------------------------------------------- multi-reactor plane
+
+TEST(Tcp, BatchedStatusBytesIdenticalAcrossReactorCounts) {
+  // The reactor count is a pure throughput knob: the same request stream
+  // (singles, a batch, errors) played through in-process dispatch, a
+  // 1-reactor server, and a 4-reactor server — spread over four
+  // connections so multiple reactors actually serve — must produce
+  // byte-identical Response envelopes.
+  RaFixture f;
+  ASSERT_TRUE(f.apply_ok);
+  ra::RaService service(&f.store);
+
+  std::vector<svc::Request> stream;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    stream.push_back(make_request(
+        svc::Method::status_query,
+        ra::encode_status_query(f.ca.id(), SerialNumber::from_uint(i * 9, 4)),
+        0));
+  }
+  std::vector<SerialNumber> batch;
+  for (std::uint64_t i = 0; i < 48; ++i) {
+    batch.push_back(SerialNumber::from_uint(i * 11 + 1, 4));
+  }
+  stream.push_back(make_request(svc::Method::status_batch,
+                                ra::encode_status_batch(f.ca.id(), batch), 0));
+  stream.push_back(make_request(
+      svc::Method::status_query,
+      ra::encode_status_query("CA-UNKNOWN", SerialNumber::from_uint(1, 4)),
+      0));
+  // Explicit ids: transports stamp id-0 requests from their own counters,
+  // which would perturb the request_id field of otherwise identical frames.
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i].request_id = i + 1;
+  }
+
+  svc::InProcessTransport inproc(&service);
+  std::vector<svc::Response> oracle;
+  for (const auto& req : stream) oracle.push_back(inproc.call(req).response);
+
+  for (const unsigned reactors : {1u, 4u}) {
+    svc::TcpServer server(&service, {.port = 0, .reactors = reactors});
+    ASSERT_EQ(server.reactor_count(), reactors);
+    std::vector<std::unique_ptr<svc::TcpClient>> clients;
+    for (int i = 0; i < 4; ++i) {
+      clients.push_back(std::make_unique<svc::TcpClient>("127.0.0.1",
+                                                         server.port()));
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto r = clients[i % clients.size()]->call(stream[i]);
+      ASSERT_EQ(r.status, svc::Status::ok)
+          << "reactors=" << reactors << " request " << i;
+      // Byte-level identity: encode both envelopes and compare frames.
+      EXPECT_EQ(svc::encode_frame(r.response), svc::encode_frame(oracle[i]))
+          << "reactors=" << reactors << " request " << i;
+    }
+  }
+}
+
+TEST(Tcp, PipelinedClientHandlesOutOfOrderCompletion) {
+  // A scripted raw-socket server reads all N request frames, then answers
+  // them in *reverse* order. The pipelined client must route each response
+  // to the submit that owns its request_id, not to whoever collects first.
+  constexpr std::size_t kCalls = 8;
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+  ASSERT_EQ(listen(listener, 1), 0);
+
+  std::thread scripted([&] {
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) return;
+    Bytes rx;
+    std::vector<svc::Request> requests;
+    std::uint8_t buf[4096];
+    while (requests.size() < kCalls) {
+      const ssize_t n = read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      rx.insert(rx.end(), buf, buf + n);
+      while (true) {
+        const auto d = svc::decode_frame(ByteSpan(rx));
+        if (d.status != svc::Status::ok || !d.is_request) break;
+        requests.push_back(d.request);
+        rx.erase(rx.begin(), rx.begin() + d.consumed);
+      }
+    }
+    Bytes out;
+    for (auto it = requests.rbegin(); it != requests.rend(); ++it) {
+      svc::Response resp;
+      resp.request_id = it->request_id;
+      resp.body = it->body;  // echo: ties the payload to its request
+      svc::encode_frame(resp, out);
+    }
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = write(fd, out.data() + sent, out.size() - sent);
+      if (n <= 0) break;
+      sent += std::size_t(n);
+    }
+    close(fd);
+  });
+
+  svc::TcpClient client("127.0.0.1", ntohs(addr.sin_port));
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = {std::uint8_t(i), std::uint8_t(i * 3 + 1)};
+    std::uint64_t id = 0;
+    ASSERT_EQ(client.submit(req, &id), svc::Status::ok) << i;
+    ids.push_back(id);
+  }
+  EXPECT_EQ(client.inflight(), kCalls);
+
+  // Collect in submit order — the wire delivers in reverse order, so the
+  // first collect parks the other seven in the ready set.
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    const auto r = client.collect(ids[i]);
+    ASSERT_EQ(r.status, svc::Status::ok) << i;
+    EXPECT_EQ(r.response.request_id, ids[i]) << i;
+    const Bytes expect{std::uint8_t(i), std::uint8_t(i * 3 + 1)};
+    EXPECT_EQ(r.response.body, expect) << i;
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+  EXPECT_EQ(client.ready(), 0u);
+  EXPECT_EQ(client.stale_dropped(), 0u);
+  scripted.join();
+  close(listener);
+}
+
+TEST(Tcp, QuotaEnforcedWithReactorLocalBuckets) {
+  // Same quota contract as the single-loop test, but on a 4-reactor
+  // server: buckets live with the connection's owning reactor, stats are
+  // summed across reactors, and a compliant client on a (likely)
+  // different reactor is untouched by the flood.
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0,
+                                   .requests_per_sec = 20.0,
+                                   .burst_requests = 4,
+                                   .reactors = 4});
+  ASSERT_EQ(server.reactor_count(), 4u);
+
+  const int flood_fd = raw_connect(server.port());
+  ASSERT_GE(flood_fd, 0);
+  constexpr std::size_t kFlood = 20;
+  Bytes burst;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.request_id = i + 1;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i + 1, 4));
+    svc::encode_frame(req, burst);
+  }
+  ASSERT_EQ(write(flood_fd, burst.data(), burst.size()),
+            ssize_t(burst.size()));
+
+  Bytes got;
+  std::size_t served = 0, refused = 0;
+  std::uint8_t buf[16 * 1024];
+  while (served + refused < kFlood) {
+    const ssize_t n = read(flood_fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    got.insert(got.end(), buf, buf + n);
+    while (true) {
+      const auto d = svc::decode_frame(ByteSpan(got));
+      if (d.status != svc::Status::ok) break;
+      if (d.response.status == svc::Status::ok) {
+        ++served;
+      } else {
+        ASSERT_EQ(d.response.status, svc::Status::overloaded);
+        ++refused;
+      }
+      got.erase(got.begin(), got.begin() + d.consumed);
+    }
+  }
+  close(flood_fd);
+  EXPECT_GE(served, 4u);
+  EXPECT_GE(refused, 1u);
+  EXPECT_EQ(server.stats().throttled, std::uint64_t(refused));
+
+  svc::TcpClient compliant("127.0.0.1", server.port());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i + 1, 4));
+    const auto r = compliant.call(req);
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(r.response.status, svc::Status::ok) << i;
+  }
+}
+
+TEST(Tcp, FdHandoffFallbackServesAcrossReactors) {
+  // With SO_REUSEPORT disabled, one acceptor thread round-robins accepted
+  // sockets to the reactors over eventfd-signalled handoff queues. The
+  // serving contract is unchanged — only the accept path differs.
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::TcpServer server(&service, {.port = 0,
+                                   .reactors = 2,
+                                   .force_fd_handoff = true});
+  ASSERT_FALSE(server.using_reuseport());
+  ASSERT_EQ(server.reactor_count(), 2u);
+
+  std::vector<std::unique_ptr<svc::TcpClient>> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.push_back(std::make_unique<svc::TcpClient>("127.0.0.1",
+                                                       server.port()));
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      svc::Request req;
+      req.method = svc::Method::status_query;
+      req.body = ra::encode_status_query(
+          f.ca.id(), SerialNumber::from_uint(i * 7 + 7, 4));
+      const auto r = clients.back()->call(req);
+      ASSERT_EQ(r.status, svc::Status::ok) << c << ":" << i;
+      ASSERT_EQ(r.response.status, svc::Status::ok) << c << ":" << i;
+      const auto status =
+          dict::RevocationStatus::decode(ByteSpan(r.response.body));
+      ASSERT_TRUE(status.has_value());
+    }
+  }
+  EXPECT_EQ(server.stats().accepted, 4u);
+  EXPECT_EQ(server.stats().requests, 32u);
+  clients.clear();
+}
+
+TEST(Tcp, ResilienceStackComposesOverPipelinedClientAndReactors) {
+  // The full adversarial stack — ResilientTransport over FaultTransport
+  // over the pipelined TcpClient — against a 4-reactor server: every
+  // logical call converges to the fault-free oracle's bytes. Faults here
+  // include duplicates, whose stale frames must be rejected by request_id
+  // (never delivered to the wrong caller).
+  RaFixture f;
+  ASSERT_TRUE(f.apply_ok);
+  ra::RaService service(&f.store);
+  svc::InProcessTransport oracle(&service);
+
+  svc::TcpServer server(&service, {.port = 0, .reactors = 4});
+  svc::TcpClient tcp("127.0.0.1", server.port(), {.timeout_ms = 2000});
+  svc::FaultTransport faulty(&tcp, /*seed=*/0xF00D);
+  svc::ResilientTransport resilient(
+      &faulty, {.base_backoff_ms = 1, .max_backoff_ms = 5},
+      {.failure_threshold = 0},  // breaker off: pure retry semantics
+      /*jitter_seed=*/1);
+
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    svc::Request req;
+    req.method = svc::Method::status_query;
+    req.body = ra::encode_status_query(f.ca.id(),
+                                       SerialNumber::from_uint(i * 7, 4));
+    const auto want = oracle.call(req).response;
+    const auto r = resilient.call(req);
+    ASSERT_EQ(r.status, svc::Status::ok) << i;
+    EXPECT_EQ(r.response.status, want.status) << i;
+    EXPECT_EQ(r.response.body, want.body) << i;
+  }
+  // The schedule actually exercised the adversarial path.
+  EXPECT_GT(faulty.stats().calls, 60u);
+  EXPECT_GT(resilient.stats().retries, 0u);
+}
+
+TEST(Fault, PipelinedSubmitCollectRejectsStaleByRequestId) {
+  // FaultTransport's pipelined face: with several submits outstanding, a
+  // stashed duplicate surfaces on whichever collect comes next — carrying
+  // an *earlier* request_id, which is exactly what the caller's wrong-id
+  // check must catch. A profile of only duplicates makes the schedule
+  // deterministic enough to pin.
+  RaFixture f;
+  ra::RaService service(&f.store);
+  svc::InProcessTransport inner(&service);
+  svc::FaultProfile profile;
+  profile.drop_request = 0;
+  profile.drop_response = 0;
+  profile.delay = 0;
+  profile.corrupt = 0;
+  profile.truncate = 0;
+  profile.partial_write = 0;
+  profile.duplicate = 0.9;
+  profile.reset = 0;
+  profile.max_consecutive = 2;
+  svc::FaultTransport faulty(&inner, /*seed=*/42, profile);
+
+  std::size_t stale_seen = 0, correct = 0;
+  for (int round = 0; round < 16; ++round) {
+    std::vector<std::uint64_t> ids;
+    std::vector<Bytes> bodies;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      svc::Request req;
+      req.method = svc::Method::status_query;
+      req.body = ra::encode_status_query(
+          f.ca.id(), SerialNumber::from_uint(round * 4 + i + 1, 4));
+      bodies.push_back(req.body);
+      std::uint64_t id = 0;
+      ASSERT_EQ(faulty.submit(req, &id), svc::Status::ok);
+      ids.push_back(id);
+    }
+    EXPECT_EQ(faulty.inflight(), 4u);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto r = faulty.collect(ids[i]);
+      if (r.status != svc::Status::ok) continue;  // injected failure
+      if (r.response.request_id != ids[i]) {
+        ++stale_seen;  // a duplicate of an earlier call: must be rejected
+        continue;
+      }
+      ++correct;
+    }
+    EXPECT_EQ(faulty.inflight(), 0u);
+  }
+  EXPECT_GT(stale_seen, 0u);  // duplicates actually crossed calls
+  EXPECT_GT(correct, 0u);
+  EXPECT_EQ(faulty.stats().stale_delivered, std::uint64_t(stale_seen));
+  // Collecting an id twice (or one never submitted) is refused.
+  const auto twice = faulty.collect(12345);
+  EXPECT_EQ(twice.status, svc::Status::transport_error);
 }
 
 }  // namespace

@@ -46,12 +46,20 @@ INFORMATIONAL = [
 
 # Absolute floors, gated against the *current* run only (no baseline
 # comparison): these are already ratios of two rates measured in the same
-# process on the same hardware, so the floor is portable. Today that is the
-# resilience guarantee — a compliant client behind per-client quotas must
-# keep >= 70% of its quiet-server goodput while flooders hammer the server.
+# process on the same hardware, so the floor is portable. Each entry may
+# carry a guard (path, minimum): the floor is enforced only when the
+# current run's value at the guard path clears the minimum, and reported
+# as skipped otherwise. The multi-reactor scaling factor is guarded by
+# core count — factor_at_4 measures real parallelism, which a 1- or
+# 2-core runner physically cannot produce, so the floor only binds on
+# machines with >= 8 hardware threads (the bench records the count in
+# svc_status.multicore_scaling.cores).
 FLOORS = [
     ("svc_resilience.goodput_ratio", 0.70,
-     "compliant goodput under flood vs quiet baseline (quotas on)"),
+     "compliant goodput under flood vs quiet baseline (quotas on)", None),
+    ("svc_status.multicore_scaling.factor_at_4", 2.5,
+     "4-reactor aggregate RPS vs 1 reactor",
+     ("svc_status.multicore_scaling.cores", 8)),
 ]
 
 
@@ -110,13 +118,21 @@ def main():
         change = (cur - base) / base
         print(f"{path:<45} {base:>10.2f} {cur:>10.2f} {change:>+7.1%}  info")
 
-    for path, floor, label in FLOORS:
+    for path, floor, label, guard in FLOORS:
         cur = lookup(current, path)
         if cur is None:
             print(f"{path:<45} {'-':>10} {'-':>10} {'':>8}  "
                   f"FAIL (missing from current run)")
             failed = True
             continue
+        if guard is not None:
+            guard_path, guard_min = guard
+            guard_val = lookup(current, guard_path)
+            if guard_val is None or guard_val < guard_min:
+                shown = "-" if guard_val is None else f"{guard_val:.0f}"
+                print(f"{path:<45} {floor:>10.2f} {cur:>10.2f} {'':>8}  "
+                      f"skipped ({guard_path}={shown} < {guard_min})")
+                continue
         ok = cur >= floor
         flag = "ok" if ok else f"FAIL (< floor {floor:.2f})"
         print(f"{path:<45} {floor:>10.2f} {cur:>10.2f} {'':>8}  {flag}")

@@ -9,6 +9,7 @@
 // With --trust the signed root under each status is verified and the
 // proof checked through the validating client; without it the tool only
 // decodes and reports presence/absence.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +30,8 @@ namespace {
   std::fprintf(stderr,
                "usage: ritm_query [--host H] [--port N] [--ca ID] "
                "[--serial HEX]... [--batch N] [--trust HEX]\n"
-               "                  [--timeout-ms N] [--retries N]\n"
+               "                  [--timeout-ms N] [--retries N] "
+               "[--pipeline N]\n"
                "  --host H        server address (default 127.0.0.1)\n"
                "  --port N        server port (default 4717)\n"
                "  --ca ID         CA to query (default CA-1)\n"
@@ -40,7 +42,11 @@ namespace {
                "  --timeout-ms N  per-call deadline incl. connect "
                "(default 10000)\n"
                "  --retries N     retry retryable failures up to N attempts "
-               "with backoff (default 1 = no retry)\n");
+               "with backoff (default 1 = no retry)\n"
+               "  --pipeline N    keep up to N requests in flight on the "
+               "connection (default 1 = call-and-wait;\n"
+               "                  responses complete out of order; --retries "
+               "applies only to non-pipelined calls)\n");
   std::exit(2);
 }
 
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   std::string trust_hex;
   int timeout_ms = 10'000;
   std::uint32_t retries = 1;
+  std::size_t pipeline = 1;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage();
@@ -82,6 +89,9 @@ int main(int argc, char** argv) {
       timeout_ms = static_cast<int>(std::strtoul(next(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--retries")) {
       retries = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--pipeline")) {
+      pipeline = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+      if (pipeline == 0) pipeline = 1;
     } else {
       usage();
     }
@@ -91,7 +101,8 @@ int main(int argc, char** argv) {
     serials.push_back(cert::SerialNumber::from_uint(42, 4));
   }
 
-  svc::TcpClient tcp(host, port, {.timeout_ms = timeout_ms});
+  svc::TcpClient tcp(host, port,
+                     {.timeout_ms = timeout_ms, .max_inflight = pipeline});
   svc::RetryPolicy retry;
   retry.max_attempts = retries == 0 ? 1 : retries;
   retry.deadline_ms = std::uint64_t(timeout_ms) * retry.max_attempts;
@@ -114,12 +125,36 @@ int main(int argc, char** argv) {
     roots.add(ca, key);
   }
 
+  // Pipelined mode: stream every serial query with up to `pipeline` in
+  // flight (submit blocks once the window is full), then collect by
+  // request_id — responses may complete out of order on the wire.
+  std::vector<std::uint64_t> pipeline_ids(serials.size(), 0);
+  if (pipeline > 1) {
+    for (std::size_t i = 0; i < serials.size(); ++i) {
+      svc::Request req;
+      req.method = svc::Method::status_query;
+      req.body = ra::encode_status_query(ca, serials[i]);
+      const auto s = tcp.submit(req, &pipeline_ids[i]);
+      if (s != svc::Status::ok) {
+        std::fprintf(stderr, "%s: submit failed (%s)\n",
+                     serials[i].to_hex().c_str(), svc::to_string(s));
+        return 1;
+      }
+    }
+  }
+
   int exit_code = 0;
-  for (const auto& serial : serials) {
-    svc::Request req;
-    req.method = svc::Method::status_query;
-    req.body = ra::encode_status_query(ca, serial);
-    const auto r = rpc.call(req);
+  for (std::size_t si = 0; si < serials.size(); ++si) {
+    const auto& serial = serials[si];
+    svc::CallResult r;
+    if (pipeline > 1) {
+      r = tcp.collect(pipeline_ids[si]);
+    } else {
+      svc::Request req;
+      req.method = svc::Method::status_query;
+      req.body = ra::encode_status_query(ca, serial);
+      r = rpc.call(req);
+    }
     if (r.status != svc::Status::ok) {
       std::fprintf(stderr, "%s: transport error (%s)\n",
                    serial.to_hex().c_str(), svc::to_string(r.status));
@@ -165,7 +200,27 @@ int main(int argc, char** argv) {
     svc::Request req;
     req.method = svc::Method::status_batch;
     req.body = ra::encode_status_batch(ca, probe);
-    const auto r = rpc.call(req);
+    svc::CallResult r;
+    if (pipeline > 1) {
+      // Keep `pipeline` copies of the batch in flight and report the last
+      // to land; the aggregate rate covers the whole pipelined window.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::uint64_t> ids(pipeline, 0);
+      for (std::size_t i = 0; i < pipeline; ++i) {
+        if (tcp.submit(req, &ids[i]) != svc::Status::ok) {
+          std::fprintf(stderr, "batch: submit failed\n");
+          return 1;
+        }
+      }
+      for (std::size_t i = 0; i < pipeline; ++i) r = tcp.collect(ids[i]);
+      r.latency_ms = std::chrono::duration_cast<
+                         std::chrono::duration<double, std::milli>>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count() /
+                     double(pipeline);
+    } else {
+      r = rpc.call(req);
+    }
     if (!r.ok()) {
       std::fprintf(stderr, "batch: failed (%s)\n",
                    svc::to_string(r.status == svc::Status::ok

@@ -36,7 +36,7 @@ void on_signal(int) { g_stop = 1; }
                "usage: ritm_serve [--port N] [--entries N] [--ca ID] "
                "[--delta SECONDS] [--max-conns N]\n"
                "                  [--quota-rps N] [--quota-burst N] "
-               "[--idle-timeout-ms N] [--retry-after-ms N]\n"
+               "[--idle-timeout-ms N] [--retry-after-ms N] [--reactors N]\n"
                "  --port N             TCP port to listen on (default 4717; "
                "0 = ephemeral)\n"
                "  --entries N          revoked serials in the demo dictionary "
@@ -51,7 +51,11 @@ void on_signal(int) { g_stop = 1; }
                "  --idle-timeout-ms N  close connections idle this long "
                "(default 0 = never)\n"
                "  --retry-after-ms N   retry_after hint on sheds; floor of "
-               "the quota pause (default 100)\n");
+               "the quota pause (default 100)\n"
+               "  --reactors N         epoll reactor threads, each with its "
+               "own SO_REUSEPORT listener\n"
+               "                       (default 0 = one per hardware "
+               "thread)\n");
   std::exit(2);
 }
 
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   std::uint32_t quota_burst = 32;
   std::uint32_t idle_timeout_ms = 0;
   std::uint32_t retry_after_ms = 100;
+  unsigned reactors = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--port")) {
       port = static_cast<std::uint16_t>(arg_u64(argc, argv, i));
@@ -92,6 +97,8 @@ int main(int argc, char** argv) {
       idle_timeout_ms = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
     } else if (!std::strcmp(argv[i], "--retry-after-ms")) {
       retry_after_ms = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
+    } else if (!std::strcmp(argv[i], "--reactors")) {
+      reactors = static_cast<unsigned>(arg_u64(argc, argv, i));
     } else {
       usage();
     }
@@ -140,6 +147,7 @@ int main(int argc, char** argv) {
   opts.burst_requests = quota_burst;
   opts.idle_timeout_ms = idle_timeout_ms;
   opts.retry_after_ms = retry_after_ms;
+  opts.reactors = reactors;
   svc::TcpServer server(&service, opts);
 
   const auto& key = ca.public_key();
@@ -153,6 +161,9 @@ int main(int argc, char** argv) {
   std::printf("  protocol    v%u; methods: status_query(4) status_batch(5) "
               "gossip_roots(3)\n",
               svc::kProtocolVersion);
+  std::printf("  reactors    %u (%s)\n", server.reactor_count(),
+              server.using_reuseport() ? "SO_REUSEPORT listeners"
+                                       : "acceptor + fd handoff");
   if (quota_rps > 0.0 || idle_timeout_ms != 0) {
     std::printf("  limits      quota %.0f req/s (burst %u), idle timeout "
                 "%u ms, retry_after %u ms\n",
