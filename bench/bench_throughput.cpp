@@ -20,8 +20,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <vector>
 
 #include "ca/authority.hpp"
 #include "ca/distribution.hpp"
@@ -894,6 +897,111 @@ int main() {
                 res_refused);
   }
 
+  // Gossip set reconciliation (PR 8): 100 RAs in the anti-entropy
+  // maintenance posture — every pool holds the full signed-root history
+  // except a staggered recent tail and a couple of scattered holes — run to
+  // convergence twice over the identical contact schedule: once with the
+  // digest/pull path (reconcile_over), once with the full-list exchange
+  // (exchange_over). Both paths give a contacted pair the pairwise union,
+  // so they converge in the same number of rounds; the bytes they move to
+  // get there is the comparison.
+  constexpr int kMeshRas = 100;
+  constexpr std::size_t kMeshRoots = 256;
+  constexpr std::size_t kMeshTail = 48;
+  double mesh_bytes_ratio = 0;
+  unsigned long long mesh_rounds = 0, mesh_digest_bytes = 0,
+                     mesh_full_bytes = 0, mesh_digest_saved = 0;
+  {
+    ca::CertificationAuthority::Config gcfg;
+    gcfg.id = "CA-G";
+    gcfg.delta = kDelta;
+    Rng grng(23);
+    ca::CertificationAuthority gossip_ca(gcfg, grng, 1000);
+    std::vector<dict::SignedRoot> history;
+    history.reserve(kMeshRoots);
+    for (std::size_t i = 0; i < kMeshRoots; ++i) {
+      history.push_back(
+          gossip_ca.revoke({cert::SerialNumber::from_uint(i + 1, 4)},
+                           1000 + 10 * i)
+              .signed_root);
+    }
+    cert::TrustStore keys;
+    keys.add(gossip_ca.id(), gossip_ca.public_key());
+    ra::DictionaryStore mesh_store;
+
+    const auto run = [&](bool digest_path) {
+      std::vector<std::unique_ptr<ra::GossipPool>> pools;
+      std::vector<std::unique_ptr<ra::RaService>> services;
+      std::vector<std::unique_ptr<svc::InProcessTransport>> rpcs;
+      Rng rng(4242);  // identical seeding + schedule for both paths
+      for (int r = 0; r < kMeshRas; ++r) {
+        pools.push_back(std::make_unique<ra::GossipPool>(&keys));
+        services.push_back(
+            std::make_unique<ra::RaService>(&mesh_store, pools.back().get()));
+        rpcs.push_back(
+            std::make_unique<svc::InProcessTransport>(services.back().get()));
+        const std::size_t cursor =
+            kMeshRoots - kMeshTail + rng.uniform(kMeshTail + 1);
+        const std::size_t hole1 = rng.uniform(kMeshRoots);
+        const std::size_t hole2 = rng.uniform(kMeshRoots);
+        for (std::size_t i = 0; i < cursor; ++i) {
+          if (i == hole1 || i == hole2) continue;
+          pools[r]->observe(history[i]);
+        }
+      }
+      unsigned long long rounds = 0;
+      for (int round = 0; round < 32; ++round) {
+        ++rounds;
+        for (int r = 0; r < kMeshRas; ++r) {
+          int peer;
+          do {
+            peer = int(rng.uniform(kMeshRas));
+          } while (peer == r);
+          if (digest_path) {
+            (void)pools[r]->reconcile_over(*rpcs[peer]);
+          } else {
+            (void)pools[r]->exchange_over(*rpcs[peer]);
+          }
+        }
+        bool converged = true;
+        for (int r = 0; r < kMeshRas && converged; ++r) {
+          converged = pools[r]->size() == kMeshRoots;
+        }
+        if (converged) break;
+      }
+      unsigned long long bytes = 0, saved = 0;
+      for (int r = 0; r < kMeshRas; ++r) {
+        bytes +=
+            pools[r]->stats().bytes_sent + pools[r]->stats().bytes_received;
+        saved += pools[r]->stats().bytes_saved;
+      }
+      return std::tuple(rounds, bytes, saved);
+    };
+
+    const auto [digest_rounds, digest_bytes, digest_saved] = run(true);
+    const auto [full_rounds, full_bytes, full_saved] = run(false);
+    (void)full_saved;
+    mesh_rounds = digest_rounds;
+    mesh_digest_bytes = digest_bytes;
+    mesh_full_bytes = full_bytes;
+    mesh_digest_saved = digest_saved;
+    mesh_bytes_ratio = full_bytes > 0 ? double(digest_bytes) / full_bytes : 0;
+
+    Table tg({"gossip to convergence (" + std::to_string(kMeshRas) + " RAs, " +
+                  std::to_string(kMeshRoots) + " roots)",
+              "rounds", "bytes moved"});
+    tg.add_row({"digest + pull (gossip_digest/gossip_pull)",
+                std::to_string(digest_rounds),
+                Table::num(double(digest_bytes) / 1024.0, 1) + " KiB"});
+    tg.add_row({"full list (gossip_roots)", std::to_string(full_rounds),
+                Table::num(double(full_bytes) / 1024.0, 1) + " KiB"});
+    std::printf("\n== gossip set reconciliation at mesh scale ==\n%s",
+                tg.render().c_str());
+    std::printf("digest path moved %.3fx the full-list bytes "
+                "(estimated %.1f KiB saved)\n",
+                mesh_bytes_ratio, double(digest_saved) / 1024.0);
+  }
+
   // Machine-readable trajectory for future PRs.
   if (std::FILE* f = std::fopen("BENCH_throughput.json", "w")) {
     std::fprintf(f,
@@ -973,6 +1081,15 @@ int main() {
                  "    \"flood_goodput_noquota_rps\": %.0f,\n"
                  "    \"flood_refused\": %llu,\n"
                  "    \"goodput_ratio\": %.3f\n"
+                 "  },\n"
+                 "  \"gossip_mesh\": {\n"
+                 "    \"ras\": %d,\n"
+                 "    \"roots\": %zu,\n"
+                 "    \"rounds_to_convergence\": %llu,\n"
+                 "    \"digest_bytes\": %llu,\n"
+                 "    \"full_list_bytes\": %llu,\n"
+                 "    \"bytes_saved_estimate\": %llu,\n"
+                 "    \"bytes_ratio\": %.4f\n"
                  "  }\n"
                  "}\n",
                  non_tls_rate, handshake_rate, validation_rate,
@@ -997,7 +1114,9 @@ int main() {
                  mc_rps[2], mc_rps[3], mc_factor_at_2, mc_factor_at_4,
                  kResBatch, kResFlooders,
                  res_baseline_rps, res_quota_rps, res_noquota_rps,
-                 res_refused, res_goodput_ratio);
+                 res_refused, res_goodput_ratio, kMeshRas, kMeshRoots,
+                 mesh_rounds, mesh_digest_bytes, mesh_full_bytes,
+                 mesh_digest_saved, mesh_bytes_ratio);
     std::fclose(f);
     std::printf("wrote BENCH_throughput.json\n");
   }
@@ -1029,6 +1148,15 @@ int main() {
     std::printf("WARNING: compliant goodput under flood only %.2fx of the "
                 "quiet baseline with quotas on (acceptance floor: 0.7)\n",
                 res_goodput_ratio);
+  }
+  if (mesh_bytes_ratio > 0.2) {
+    std::printf("WARNING: digest gossip moved %.2fx the full-list bytes at "
+                "%d RAs (acceptance ceiling: 0.2x)\n",
+                mesh_bytes_ratio, kMeshRas);
+  }
+  if (mesh_rounds > 12) {
+    std::printf("WARNING: gossip mesh took %llu rounds to converge "
+                "(acceptance ceiling: 12)\n", mesh_rounds);
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "ca/distribution.hpp"
 #include "common/io.hpp"
 
 namespace ritm::ca {
@@ -24,6 +25,27 @@ std::optional<DecodedSyncRequest> decode_sync_request(ByteSpan body) {
                             std::move(*req)};
 }
 
+Bytes encode_delta_request(const dict::SyncRequest& req, UnixSeconds now,
+                           std::uint64_t cursor_period) {
+  Bytes body;
+  ByteWriter w(body);
+  w.u64(static_cast<std::uint64_t>(now));
+  w.u64(cursor_period);
+  append(body, ByteSpan(req.encode()));
+  return body;
+}
+
+std::optional<DecodedDeltaRequest> decode_delta_request(ByteSpan body) {
+  ByteReader r(body);
+  const auto now_bits = r.try_u64();
+  const auto cursor = r.try_u64();
+  if (!now_bits || !cursor) return std::nullopt;
+  auto req = dict::SyncRequest::decode(body.subspan(16));
+  if (!req) return std::nullopt;
+  return DecodedDeltaRequest{static_cast<UnixSeconds>(*now_bits), *cursor,
+                             std::move(*req)};
+}
+
 void SyncService::add(const CertificationAuthority* ca) {
   if (ca == nullptr) throw std::invalid_argument("SyncService: null ca");
   cas_[ca->id()] = ca;
@@ -31,27 +53,52 @@ void SyncService::add(const CertificationAuthority* ca) {
 
 svc::ServeResult SyncService::handle(const svc::Request& req) {
   svc::ServeResult out;
-  if (req.method != svc::Method::feed_sync) {
+  // feed_delta without a period source answers unknown_method — the exact
+  // response a pre-delta server gives — so clients need only one fallback.
+  const bool delta =
+      req.method == svc::Method::feed_delta && periods_ != nullptr;
+  if (req.method != svc::Method::feed_sync && !delta) {
     out.response = svc::reject(req, svc::Status::unknown_method);
     return out;
   }
-  const auto decoded = decode_sync_request(ByteSpan(req.body));
-  if (!decoded) {
-    out.response = svc::reject(req, svc::Status::malformed);
-    return out;
+  UnixSeconds now = 0;
+  dict::SyncRequest sync_req;
+  if (delta) {
+    auto decoded = decode_delta_request(ByteSpan(req.body));
+    if (!decoded) {
+      out.response = svc::reject(req, svc::Status::malformed);
+      return out;
+    }
+    now = decoded->now;
+    sync_req = std::move(decoded->request);
+  } else {
+    auto decoded = decode_sync_request(ByteSpan(req.body));
+    if (!decoded) {
+      out.response = svc::reject(req, svc::Status::malformed);
+      return out;
+    }
+    now = decoded->now;
+    sync_req = std::move(decoded->request);
   }
-  const auto it = cas_.find(decoded->request.ca);
+  const auto it = cas_.find(sync_req.ca);
   if (it == cas_.end()) {
     out.response = svc::reject(req, svc::Status::unknown_ca);
     return out;
   }
   const CertificationAuthority& ca = *it->second;
   dict::SyncResponse resp;
-  resp.ca = decoded->request.ca;
-  resp.entries = ca.dictionary().entries_from(decoded->request.have_n + 1);
+  resp.ca = sync_req.ca;
+  resp.entries = ca.dictionary().entries_from(sync_req.have_n + 1);
   resp.signed_root = ca.signed_root();
-  resp.freshness = ca.freshness_at(decoded->now);
+  resp.freshness = ca.freshness_at(now);
   out.response.request_id = req.request_id;
+  if (delta) {
+    // Everything published below next_period() is subsumed by the full
+    // dictionary state this response carries — the RA's cursor may resume
+    // there (same contract as the cold-start object's upto_period).
+    ByteWriter w(out.response.body);
+    w.u64(periods_->next_period());
+  }
   resp.encode_into(out.response.body);
   return out;
 }

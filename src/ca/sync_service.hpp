@@ -27,6 +27,26 @@ struct DecodedSyncRequest {
 };
 std::optional<DecodedSyncRequest> decode_sync_request(ByteSpan body);
 
+/// Body layouts for Method::feed_delta (PR 8, delta sync): the classic sync
+/// exchange plus the RA's feed cursor; the response carries the first feed
+/// period the RA still needs, so the cursor skips period objects the sync
+/// already subsumes. Fixed-width fields ride *before* the embedded
+/// encodings because SyncRequest/SyncResponse decoders consume their whole
+/// span.
+///
+/// Request body:  u64 now_s | u64 cursor_period | dict::SyncRequest
+/// Response body: u64 resume_period | dict::SyncResponse
+Bytes encode_delta_request(const dict::SyncRequest& req, UnixSeconds now,
+                           std::uint64_t cursor_period);
+struct DecodedDeltaRequest {
+  UnixSeconds now = 0;
+  std::uint64_t cursor_period = 0;
+  dict::SyncRequest request;
+};
+std::optional<DecodedDeltaRequest> decode_delta_request(ByteSpan body);
+
+class DistributionPoint;
+
 class SyncService final : public svc::Service {
  public:
   SyncService() = default;
@@ -35,10 +55,20 @@ class SyncService final : public svc::Service {
   /// must outlive the service.
   void add(const CertificationAuthority* ca);
 
+  /// Enables Method::feed_delta: `dp` (which must outlive the service) says
+  /// which feed period the next publish() writes, so delta responses can
+  /// tell the RA where its cursor may resume. Without a period source the
+  /// service answers feed_delta with unknown_method — exactly what a
+  /// pre-delta server would say — and clients fall back to feed_sync.
+  void set_period_source(const DistributionPoint* dp) noexcept {
+    periods_ = dp;
+  }
+
   svc::ServeResult handle(const svc::Request& req) override;
 
  private:
   std::map<cert::CaId, const CertificationAuthority*> cas_;
+  const DistributionPoint* periods_ = nullptr;
 };
 
 }  // namespace ritm::ca

@@ -94,6 +94,116 @@ std::optional<GossipReply> decode_gossip_reply(ByteSpan body) {
   return reply;
 }
 
+Bytes encode_gossip_digest(const GossipDigest& digest) {
+  Bytes body;
+  ByteWriter w(body);
+  w.u32(static_cast<std::uint32_t>(digest.runs.size()));
+  for (const auto& [ca, runs] : digest.runs) {
+    w.var8(ByteSpan(reinterpret_cast<const std::uint8_t*>(ca.data()),
+                    ca.size()));
+    w.u32(static_cast<std::uint32_t>(runs.size()));
+    for (const auto& run : runs) {
+      w.u64(run.lo);
+      w.u64(run.hi);
+      w.raw(ByteSpan(run.hash));
+    }
+  }
+  return body;
+}
+
+std::optional<GossipDigest> decode_gossip_digest(ByteSpan body) {
+  ByteReader r(body);
+  const auto ca_count = r.try_u32();
+  if (!ca_count) return std::nullopt;
+  // Hostile counts: each CA entry needs >= var8 + u32 = 5 bytes; each run
+  // is a fixed 8+8+20 = 36 bytes.
+  if (*ca_count > r.remaining() / 5) return std::nullopt;
+  GossipDigest digest;
+  for (std::uint32_t i = 0; i < *ca_count; ++i) {
+    const auto ca_bytes = r.try_var8();
+    const auto run_count = r.try_u32();
+    if (!ca_bytes || !run_count) return std::nullopt;
+    if (*run_count > r.remaining() / 36) return std::nullopt;
+    const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+    auto& runs = digest.runs[ca];
+    runs.reserve(*run_count);
+    std::uint64_t prev_hi = 0;
+    for (std::uint32_t j = 0; j < *run_count; ++j) {
+      GossipRun run;
+      const auto lo = r.try_u64();
+      const auto hi = r.try_u64();
+      const auto hash = r.try_raw(run.hash.size());
+      if (!lo || !hi || !hash) return std::nullopt;
+      run.lo = *lo;
+      run.hi = *hi;
+      // Runs must be well-formed, ascending, and disjoint — the diff logic
+      // binary-searches on lo, so a lying peer doesn't get to confuse it.
+      if (run.lo > run.hi) return std::nullopt;
+      if (j > 0 && run.lo <= prev_hi) return std::nullopt;
+      prev_hi = run.hi;
+      std::copy(hash->begin(), hash->end(), run.hash.begin());
+      runs.push_back(run);
+    }
+  }
+  if (!r.done()) return std::nullopt;
+  return digest;
+}
+
+Bytes encode_gossip_pull(const GossipWant& want,
+                         const std::vector<dict::SignedRoot>& push) {
+  Bytes body;
+  ByteWriter w(body);
+  w.u32(static_cast<std::uint32_t>(want.ranges.size()));
+  for (const auto& [ca, ranges] : want.ranges) {
+    w.var8(ByteSpan(reinterpret_cast<const std::uint8_t*>(ca.data()),
+                    ca.size()));
+    w.u32(static_cast<std::uint32_t>(ranges.size()));
+    for (const auto& [lo, hi] : ranges) {
+      w.u64(lo);
+      w.u64(hi);
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(push.size()));
+  for (const auto& root : push) w.var16(ByteSpan(root.encode()));
+  return body;
+}
+
+std::optional<GossipPullRequest> decode_gossip_pull(ByteSpan body) {
+  ByteReader r(body);
+  GossipPullRequest pull;
+  const auto ca_count = r.try_u32();
+  if (!ca_count) return std::nullopt;
+  if (*ca_count > r.remaining() / 5) return std::nullopt;
+  for (std::uint32_t i = 0; i < *ca_count; ++i) {
+    const auto ca_bytes = r.try_var8();
+    const auto range_count = r.try_u32();
+    if (!ca_bytes || !range_count) return std::nullopt;
+    if (*range_count > r.remaining() / 16) return std::nullopt;
+    const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+    auto& ranges = pull.want.ranges[ca];
+    ranges.reserve(*range_count);
+    for (std::uint32_t j = 0; j < *range_count; ++j) {
+      const auto lo = r.try_u64();
+      const auto hi = r.try_u64();
+      if (!lo || !hi || *lo > *hi) return std::nullopt;
+      ranges.emplace_back(*lo, *hi);
+    }
+  }
+  const auto push_count = r.try_u32();
+  if (!push_count) return std::nullopt;
+  if (*push_count > r.remaining() / 2) return std::nullopt;  // var16 each
+  pull.push.reserve(*push_count);
+  for (std::uint32_t i = 0; i < *push_count; ++i) {
+    const auto bytes = r.try_var16();
+    if (!bytes) return std::nullopt;
+    auto root = dict::SignedRoot::decode(ByteSpan(*bytes));
+    if (!root) return std::nullopt;
+    pull.push.push_back(std::move(*root));
+  }
+  if (!r.done()) return std::nullopt;
+  return pull;
+}
+
 RaService::RaService(const DictionaryStore* store, GossipPool* gossip)
     : store_(store), gossip_(gossip) {
   if (store_ == nullptr) throw std::invalid_argument("RaService: null store");
@@ -105,6 +215,10 @@ svc::ServeResult RaService::handle(const svc::Request& req) {
     case svc::Method::status_query: out.response = status_query(req); break;
     case svc::Method::status_batch: out.response = status_batch(req); break;
     case svc::Method::gossip_roots: out.response = gossip_roots(req); break;
+    case svc::Method::gossip_digest:
+      out.response = gossip_digest(req);
+      break;
+    case svc::Method::gossip_pull: out.response = gossip_pull(req); break;
     default:
       out.response = svc::reject(req, svc::Status::unknown_method);
       break;
@@ -122,6 +236,8 @@ RaService::Stats RaService::stats() const noexcept {
   s.serials_served = stats_.serials_served.load(std::memory_order_relaxed);
   s.gossip_exchanges =
       stats_.gossip_exchanges.load(std::memory_order_relaxed);
+  s.gossip_digests = stats_.gossip_digests.load(std::memory_order_relaxed);
+  s.gossip_pulls = stats_.gossip_pulls.load(std::memory_order_relaxed);
   s.rejected = stats_.rejected.load(std::memory_order_relaxed);
   return s;
 }
@@ -212,6 +328,51 @@ svc::Response RaService::gossip_roots(const svc::Request& req) {
   svc::Response resp;
   resp.request_id = req.request_id;
   resp.body = encode_gossip_roots(ours);  // same shape as the request side
+  ByteWriter w(resp.body);
+  w.u32(static_cast<std::uint32_t>(found.size()));
+  for (const auto& e : found) {
+    w.var16(ByteSpan(e.ours.encode()));
+    w.var16(ByteSpan(e.theirs.encode()));
+  }
+  return resp;
+}
+
+svc::Response RaService::gossip_digest(const svc::Request& req) {
+  stats_.gossip_digests.fetch_add(1, std::memory_order_relaxed);
+  if (gossip_ == nullptr) return svc::reject(req, svc::Status::unavailable);
+  // The caller's digest rides the request so a future server could diff it
+  // proactively; today we only validate it and answer with our own.
+  if (!decode_gossip_digest(ByteSpan(req.body))) {
+    return svc::reject(req, svc::Status::malformed);
+  }
+  svc::Response resp;
+  resp.request_id = req.request_id;
+  std::lock_guard<std::mutex> lock(gossip_mu_);
+  resp.body = encode_gossip_digest(gossip_->digest());
+  return resp;
+}
+
+svc::Response RaService::gossip_pull(const svc::Request& req) {
+  stats_.gossip_pulls.fetch_add(1, std::memory_order_relaxed);
+  if (gossip_ == nullptr) return svc::reject(req, svc::Status::unavailable);
+  const auto pull = decode_gossip_pull(ByteSpan(req.body));
+  if (!pull) return svc::reject(req, svc::Status::malformed);
+
+  std::lock_guard<std::mutex> lock(gossip_mu_);
+
+  // Snapshot the wanted roots *before* observing the pushes — the same
+  // symmetric-snapshot rule as gossip_roots, so a root the peer pushes is
+  // never echoed straight back in the same exchange.
+  const std::vector<dict::SignedRoot> wanted = gossip_->roots_in(pull->want);
+
+  std::vector<MisbehaviourEvidence> found;
+  for (const auto& root : pull->push) {
+    if (auto e = gossip_->observe(root)) found.push_back(std::move(*e));
+  }
+
+  svc::Response resp;
+  resp.request_id = req.request_id;
+  resp.body = encode_gossip_roots(wanted);  // gossip_roots response shape
   ByteWriter w(resp.body);
   w.u32(static_cast<std::uint32_t>(found.size()));
   for (const auto& e : found) {

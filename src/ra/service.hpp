@@ -30,6 +30,14 @@ namespace ritm::ra {
 //   gossip_roots  request:  u32 count | count x var16 SignedRoot
 //                 response: u32 count | count x var16 SignedRoot (ours),
 //                           u32 count | count x (var16, var16) evidence
+//   gossip_digest request:  u32 ca_count | ca_count x (var8 ca | u32 runs |
+//                           runs x (u64 lo | u64 hi | 20B run hash))
+//                 response: the server's digest in the same shape
+//   gossip_pull   request:  u32 ca_count | ca_count x (var8 ca | u32 ranges |
+//                           ranges x (u64 lo | u64 hi)) — the want set —
+//                           then u32 count | count x var16 SignedRoot pushed
+//                 response: gossip_roots response shape (wanted roots +
+//                           evidence found observing the pushes)
 /// Ceiling on serials per status_batch envelope: at the paper's 500-900 B
 /// per status, anything larger would push the *response* past the
 /// transport frame limit (svc::kMaxFrameBytes) and be rejected by the
@@ -48,6 +56,17 @@ struct GossipReply {
   std::vector<MisbehaviourEvidence> evidence;   // conflicts the peer found
 };
 std::optional<GossipReply> decode_gossip_reply(ByteSpan body);
+
+Bytes encode_gossip_digest(const GossipDigest& digest);
+std::optional<GossipDigest> decode_gossip_digest(ByteSpan body);
+
+Bytes encode_gossip_pull(const GossipWant& want,
+                         const std::vector<dict::SignedRoot>& push);
+struct GossipPullRequest {
+  GossipWant want;                      // ranges the caller is missing
+  std::vector<dict::SignedRoot> push;   // roots the caller diffed us to lack
+};
+std::optional<GossipPullRequest> decode_gossip_pull(ByteSpan body);
 
 /// Thread safety: handle() may be called concurrently from the TCP
 /// server's reactors — the status paths ride the store's sharded cache
@@ -69,6 +88,8 @@ class RaService final : public svc::Service {
     std::uint64_t batch_queries = 0;
     std::uint64_t serials_served = 0;
     std::uint64_t gossip_exchanges = 0;
+    std::uint64_t gossip_digests = 0;  // digest swaps answered
+    std::uint64_t gossip_pulls = 0;    // pull requests answered
     std::uint64_t rejected = 0;  // non-ok responses
   };
   /// Snapshot of the counters (coherent per field under concurrency).
@@ -78,6 +99,8 @@ class RaService final : public svc::Service {
   svc::Response status_query(const svc::Request& req);
   svc::Response status_batch(const svc::Request& req);
   svc::Response gossip_roots(const svc::Request& req);
+  svc::Response gossip_digest(const svc::Request& req);
+  svc::Response gossip_pull(const svc::Request& req);
 
   const DictionaryStore* store_;
   GossipPool* gossip_;
@@ -86,6 +109,8 @@ class RaService final : public svc::Service {
     std::atomic<std::uint64_t> batch_queries{0};
     std::atomic<std::uint64_t> serials_served{0};
     std::atomic<std::uint64_t> gossip_exchanges{0};
+    std::atomic<std::uint64_t> gossip_digests{0};
+    std::atomic<std::uint64_t> gossip_pulls{0};
     std::atomic<std::uint64_t> rejected{0};
   };
   AtomicStats stats_;

@@ -74,6 +74,10 @@ class RaUpdater {
     std::map<svc::Status, std::uint64_t> rejected_by;
     std::uint64_t syncs = 0;
     std::uint64_t sync_bytes = 0;
+    std::uint64_t delta_syncs = 0;       // syncs served via feed_delta
+    /// Feed period objects the cursor skipped because a delta sync (or a
+    /// bootstrap) already subsumed their content — pulls never made.
+    std::uint64_t periods_skipped = 0;
     std::uint64_t bootstraps = 0;        // cold-start objects installed
     std::uint64_t consistency_checks = 0;
     std::uint64_t misbehaviour_detected = 0;
@@ -181,6 +185,9 @@ class RaUpdater {
  private:
   void apply_message(const ca::FeedMessage& msg, UnixSeconds now);
   void run_sync(const cert::CaId& ca, UnixSeconds now);
+  /// feed_delta attempt; false means "server does not speak delta, retry
+  /// the same sync over feed_sync" (any other outcome is terminal).
+  bool run_delta_sync(const cert::CaId& ca, UnixSeconds now);
   void mark_period();
   void count_rejected(svc::Status code);
   void record_failure(svc::Status code, TimeMs now);
@@ -193,6 +200,10 @@ class RaUpdater {
   svc::Transport* cdn_rpc_ = nullptr;
   svc::Transport* sync_rpc_ = nullptr;
   std::uint64_t next_period_ = 0;
+  // Optimistic until the sync server answers unknown_method once; then the
+  // updater speaks feed_sync for the rest of its lifetime (one wasted RTT
+  // total, not one per sync).
+  bool delta_sync_supported_ = true;
   Totals totals_;
   Health health_;
   std::string persist_dir_;

@@ -73,6 +73,25 @@ enum class Method : std::uint16_t {
   /// epoch-versioned status-byte cache. Body: var8 ca, u32 count, count x
   /// var8 serial. Response: u32 count, count x var24 status encoding.
   status_batch = 5,
+  /// Set-reconciliation gossip, step 1 of 2 (digest swap): the caller's
+  /// compact seen-set summary — per CA, segment-aligned runs of contiguous
+  /// root sizes with a hash over each run — answered with the peer's own
+  /// digest in the same shape. Body layouts in ra/service.hpp. Peers that
+  /// predate this method answer unknown_method, which callers treat as
+  /// "fall back to the gossip_roots full exchange".
+  gossip_digest = 6,
+  /// Set-reconciliation gossip, step 2 of 2 (pull-only-missing): want-ranges
+  /// diffed from the peer's digest plus the roots the peer was diffed to be
+  /// missing. Response: the requested roots + the evidence the peer found
+  /// observing the pushed ones (same tail shape as gossip_roots).
+  gossip_pull = 7,
+  /// Delta feed sync (replaces a feed_sync + per-period re-pulls): the RA
+  /// advertises its entry have-set *and* its feed cursor; the response is
+  /// the classic SyncResponse plus the first period the RA still needs, so
+  /// the cursor can skip period objects the sync already covers. Servers
+  /// without a period source answer unknown_method (callers fall back to
+  /// feed_sync).
+  feed_delta = 8,
 };
 
 /// The one error taxonomy of the serving surface. Codes < 16 are

@@ -17,7 +17,10 @@ seed cost model", "the warm status cache is N times faster than proving",
 and "snapshot+WAL restart is N times faster than full feed replay" should
 hold anywhere, so a big drop means a real regression, not a slow VM. A small
 FLOORS list additionally gates same-run ratios against absolute minimums
-(no baseline needed).
+(no baseline needed), and CEILINGS gates same-run ratios against absolute
+maximums (e.g. digest gossip must move <= 0.2x the bytes of full-list
+exchange). Guard-skipped entries print an explicit `SKIPPED (guard: ...)`
+line so bench logs are auditable.
 
 A gated metric missing from the *baseline* is reported as new and skipped
 (the gate starts holding once the refreshed baseline is committed); a gated
@@ -60,6 +63,18 @@ FLOORS = [
     ("svc_status.multicore_scaling.factor_at_4", 2.5,
      "4-reactor aggregate RPS vs 1 reactor",
      ("svc_status.multicore_scaling.cores", 8)),
+]
+
+# Absolute ceilings, the mirror image of FLOORS: same-run ratios that must
+# stay *below* a portable bound. Digest gossip must move a fraction of the
+# full-list bytes at mesh scale, and the mesh must converge in a bounded
+# number of rounds — both are hardware-independent properties of the
+# reconciliation protocol, measured on the same schedule in one process.
+CEILINGS = [
+    ("gossip_mesh.bytes_ratio", 0.20,
+     "digest-gossip bytes vs full-list bytes at 100 RAs", None),
+    ("gossip_mesh.rounds_to_convergence", 12,
+     "gossip rounds until every RA holds the full root set", None),
 ]
 
 
@@ -131,11 +146,32 @@ def main():
             if guard_val is None or guard_val < guard_min:
                 shown = "-" if guard_val is None else f"{guard_val:.0f}"
                 print(f"{path:<45} {floor:>10.2f} {cur:>10.2f} {'':>8}  "
-                      f"skipped ({guard_path}={shown} < {guard_min})")
+                      f"SKIPPED (guard: {guard_path}={shown} < {guard_min})")
                 continue
         ok = cur >= floor
         flag = "ok" if ok else f"FAIL (< floor {floor:.2f})"
         print(f"{path:<45} {floor:>10.2f} {cur:>10.2f} {'':>8}  {flag}")
+        if not ok:
+            failed = True
+
+    for path, ceiling, label, guard in CEILINGS:
+        cur = lookup(current, path)
+        if cur is None:
+            print(f"{path:<45} {'-':>10} {'-':>10} {'':>8}  "
+                  f"FAIL (missing from current run)")
+            failed = True
+            continue
+        if guard is not None:
+            guard_path, guard_min = guard
+            guard_val = lookup(current, guard_path)
+            if guard_val is None or guard_val < guard_min:
+                shown = "-" if guard_val is None else f"{guard_val:.0f}"
+                print(f"{path:<45} {ceiling:>10.2f} {cur:>10.2f} {'':>8}  "
+                      f"SKIPPED (guard: {guard_path}={shown} < {guard_min})")
+                continue
+        ok = cur <= ceiling
+        flag = "ok" if ok else f"FAIL (> ceiling {ceiling:.2f})"
+        print(f"{path:<45} {ceiling:>10.2f} {cur:>10.2f} {'':>8}  {flag}")
         if not ok:
             failed = True
 

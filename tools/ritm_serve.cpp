@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
               to_hex(ByteSpan(key.data(), key.size())).c_str());
   std::printf("  revoked     serials 7, 14, 21, ... (hex width 4)\n");
   std::printf("  protocol    v%u; methods: status_query(4) status_batch(5) "
-              "gossip_roots(3)\n",
+              "gossip_roots(3) gossip_digest(6) gossip_pull(7)\n",
               svc::kProtocolVersion);
   std::printf("  reactors    %u (%s)\n", server.reactor_count(),
               server.using_reuseport() ? "SO_REUSEPORT listeners"
@@ -178,16 +178,31 @@ int main(int argc, char** argv) {
   }
 
   const auto stats = server.stats();
+  const auto svc_stats = service.stats();
   std::printf("\nritm_serve: %llu requests (%llu serials served, "
               "%llu shed, %llu throttled, %llu idle-closed, %llu bad "
               "frames), %llu B in / %llu B out\n",
               (unsigned long long)stats.requests,
-              (unsigned long long)service.stats().serials_served,
+              (unsigned long long)svc_stats.serials_served,
               (unsigned long long)stats.shed_over_limit,
               (unsigned long long)stats.throttled,
               (unsigned long long)stats.idle_closed,
               (unsigned long long)stats.fatal_frames,
               (unsigned long long)stats.bytes_in,
               (unsigned long long)stats.bytes_out);
+  const auto gs = gossip.stats();
+  std::printf("gossip: %llu digest + %llu pull requests served; pool-side "
+              "exchanges %llu attempted (%llu failed, %llu digest / %llu "
+              "full, %llu fallbacks), %llu B sent / %llu B received, "
+              "%llu B saved vs full-list\n",
+              (unsigned long long)svc_stats.gossip_digests,
+              (unsigned long long)svc_stats.gossip_pulls,
+              (unsigned long long)gs.attempted, (unsigned long long)gs.failed,
+              (unsigned long long)gs.digest_exchanges,
+              (unsigned long long)gs.full_exchanges,
+              (unsigned long long)gs.fallbacks,
+              (unsigned long long)gs.bytes_sent,
+              (unsigned long long)gs.bytes_received,
+              (unsigned long long)gs.bytes_saved);
   return 0;
 }
