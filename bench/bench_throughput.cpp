@@ -36,6 +36,8 @@
 #include "crypto/sha256_engine.hpp"
 #include "dict/dictionary.hpp"
 #include "dict/sharded.hpp"
+#include "persist/shard_checkpoint.hpp"
+#include "persist/snapshot.hpp"
 #include "ra/agent.hpp"
 #include "ra/service.hpp"
 #include "ra/updater.hpp"
@@ -497,18 +499,35 @@ int main() {
   }
 
   // --- recovery: RA restart via snapshot + WAL tail vs a full feed replay
-  // of the issuance history, on a 100k-entry dictionary disseminated over
-  // ~3.1k feed periods (32 revocations each). The durable RA checkpoints
-  // 20 periods before the "crash", so restart = load snapshot (one O(n)
-  // rebuild, no per-entry re-hash, no per-issuance signature) + replay the
-  // 20-period log tail; the cold RA re-pulls, re-verifies, and re-applies
-  // every period.
-  constexpr std::uint64_t kRecEntries = 100'000;
-  constexpr std::size_t kRecBatch = 32;
-  constexpr std::uint64_t kRecTailPeriods = 20;
+  // of the issuance history, on a 1M-entry dictionary disseminated over 1k
+  // feed periods (1000 revocations each; RITM_BENCH_RECOVERY_ENTRIES
+  // overrides the size — the nightly job runs 10M). The durable RA
+  // checkpoints 20 periods before the "crash", so restart = mmap the v2
+  // snapshot and adopt its arenas (no per-entry re-hash, no per-issuance
+  // signature) + replay the log tail; the cold RA re-pulls, re-verifies,
+  // and re-applies every period. The tail is 1% of the corpus (the same
+  // dirt fraction the incremental-checkpoint gate uses): with background
+  // checkpoints every ~30s a restart sees at most a few periods of tail,
+  // and tail replay cost scales with dictionary size, not tail size alone.
+  // A second pass restores the same state from a v1 (streaming) and a v2
+  // (mmap) snapshot with no tail to isolate the format-v2 restart win.
+  std::uint64_t kRecEntries = 1'000'000;
+  constexpr std::size_t kRecBatch = 1000;
+  constexpr std::uint64_t kRecTailPeriods = 10;
+  if (const char* env = std::getenv("RITM_BENCH_RECOVERY_ENTRIES")) {
+    const std::uint64_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) kRecEntries = v;
+  }
+  if (kRecEntries < 2 * kRecTailPeriods * kRecBatch) {
+    kRecEntries = 2 * kRecTailPeriods * kRecBatch;
+  }
   double recovery_replay_ms = 0, recovery_recover_ms = 0;
   double recovery_speedup = 0;
+  double recovery_v1_restore_ms = 0, recovery_v2_restore_ms = 0;
+  double recovery_mmap_speedup = 0;
   std::uint64_t recovery_periods = 0;
+  double checkpoint_stall_us = 0, checkpoint_max_stall_us = 0;
+  std::uint64_t checkpoint_cycles = 0, checkpoint_snapshot_bytes = 0;
   {
     Rng rrng(7);
     auto rcdn = cdn::make_global_cdn(60'000);
@@ -585,8 +604,119 @@ int main() {
                 "(%.1fx); states %s\n",
                 recovery_replay_ms, recovery_recover_ms, recovery_speedup,
                 equal ? "identical" : "DIVERGED!");
-    std::filesystem::remove_all(dir);
     if (!equal) return 1;
+
+    // v1 vs v2 restore on identical state, no WAL tail: the v1 path
+    // deserializes and re-hashes every entry, the v2 path mmaps the file
+    // and adopts the arenas in place.
+    const std::string dir_v1 = "persist-bench-v1";
+    const std::string dir_v2 = "persist-bench-v2";
+    std::filesystem::remove_all(dir_v1);
+    std::filesystem::remove_all(dir_v2);
+    {
+      ByteWriter w;
+      cold_store.snapshot_into(w);
+      persist::SnapshotFile::write(dir_v1, 1, ByteSpan(w.bytes()));
+    }
+    cold_store.persist_to(dir_v2);
+    bool restore_equal = false;
+    {
+      ra::DictionaryStore v1_store;
+      v1_store.register_ca(rca.id(), rca.public_key(), kDelta);
+      start = std::chrono::steady_clock::now();
+      const auto v1_report = v1_store.recover_from(dir_v1);
+      recovery_v1_restore_ms =
+          ms_of(std::chrono::steady_clock::now() - start);
+      ra::DictionaryStore v2_store;
+      v2_store.register_ca(rca.id(), rca.public_key(), kDelta);
+      start = std::chrono::steady_clock::now();
+      const auto v2_report = v2_store.recover_from(dir_v2);
+      recovery_v2_restore_ms =
+          ms_of(std::chrono::steady_clock::now() - start);
+      recovery_mmap_speedup = recovery_v1_restore_ms / recovery_v2_restore_ms;
+      restore_equal = v1_report.ok && v2_report.ok &&
+                      v2_store.have_n(rca.id()) == kRecEntries &&
+                      v1_store.root_of(rca.id())->encode() ==
+                          v2_store.root_of(rca.id())->encode();
+    }
+    std::printf("restore only: v1 streaming %.1f ms -> v2 mmap %.1f ms "
+                "(%.1fx); states %s\n",
+                recovery_v1_restore_ms, recovery_v2_restore_ms,
+                recovery_mmap_speedup,
+                restore_equal ? "identical" : "DIVERGED!");
+    std::filesystem::remove_all(dir_v1);
+    std::filesystem::remove_all(dir_v2);
+    if (!restore_equal) return 1;
+
+    // Background checkpointing stall: cycles run on the recovered replica
+    // while feed pulls keep mutating it. The stall a cycle imposes on the
+    // mutation path is its freeze window (the O(#CAs) arena-sharing copy),
+    // not the off-lock file write of the full snapshot.
+    rec.start_checkpoints(0.001);
+    std::uint64_t extra = 0;
+    while (rec.checkpoint_stats().checkpoints < 3 && extra < 300) {
+      ++extra;
+      publish_batches(kRecEntries + extra * kRecBatch);
+      rec.pull_up_to(dp.next_period() - 1, from_seconds(now_s));
+    }
+    rec.stop_checkpoints();
+    const auto cs = rec.checkpoint_stats();
+    checkpoint_cycles = cs.checkpoints;
+    checkpoint_max_stall_us = double(cs.max_stall_us);
+    checkpoint_stall_us =
+        cs.checkpoints == 0 ? 0.0
+                            : double(cs.total_stall_us) / double(cs.checkpoints);
+    checkpoint_snapshot_bytes = cs.last_bytes;
+    std::printf("\n== background checkpoint (n=%llu + %llu pulled periods "
+                "during cycles) ==\n",
+                (unsigned long long)kRecEntries, (unsigned long long)extra);
+    std::printf("%llu cycles, freeze stall mean %.0f us / max %.0f us, "
+                "snapshot %.1f MiB (WAL resets %llu, skipped %llu)\n",
+                (unsigned long long)checkpoint_cycles, checkpoint_stall_us,
+                checkpoint_max_stall_us,
+                double(checkpoint_snapshot_bytes) / (1024.0 * 1024.0),
+                (unsigned long long)cs.wal_resets,
+                (unsigned long long)cs.wal_reset_skipped);
+    std::filesystem::remove_all(dir);
+  }
+
+  // --- per-shard incremental checkpoints: byte cost of re-checkpointing a
+  // 64-shard dictionary after 1% new entries land in one expiry bucket,
+  // relative to the full checkpoint.
+  double checkpoint_incr_ratio = 0;
+  std::uint64_t checkpoint_full_bytes = 0, checkpoint_incr_bytes = 0;
+  constexpr std::size_t kCkptShards = 64;
+  {
+    const std::uint64_t n = std::min<std::uint64_t>(kRecEntries, 256'000);
+    dict::ShardedDictionary sharded(100);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sharded.insert(cert::SerialNumber::from_uint(i * 11 + 3, 5),
+                     static_cast<UnixSeconds>(i % kCkptShards) * 100 + 50);
+    }
+    ThreadPool pool;
+    const std::string sdir = "persist-bench-shards";
+    std::filesystem::remove_all(sdir);
+    persist::ShardCheckpointer ck(sdir);
+    const auto full_ck = ck.checkpoint(sharded, &pool);
+    for (std::uint64_t i = 0; i < n / 100; ++i) {
+      sharded.insert(cert::SerialNumber::from_uint((n + i) * 11 + 3, 5),
+                     7 * 100 + 50);  // all the dirt in one bucket
+    }
+    const auto incr_ck = ck.checkpoint(sharded, &pool);
+    checkpoint_full_bytes = full_ck.bytes_written;
+    checkpoint_incr_bytes = incr_ck.bytes_written;
+    checkpoint_incr_ratio =
+        double(checkpoint_incr_bytes) / double(checkpoint_full_bytes);
+    std::printf("\n== incremental shard checkpoint (%zu shards, n=%llu, "
+                "1%% dirt in one bucket) ==\n",
+                kCkptShards, (unsigned long long)n);
+    std::printf("full %.1f MiB -> incremental %.2f MiB (%.3fx; %zu of %zu "
+                "shards rewritten)\n",
+                double(checkpoint_full_bytes) / (1024.0 * 1024.0),
+                double(checkpoint_incr_bytes) / (1024.0 * 1024.0),
+                checkpoint_incr_ratio, incr_ck.shards_written,
+                incr_ck.shards_written + incr_ck.shards_skipped);
+    std::filesystem::remove_all(sdir);
   }
 
   // --- service envelope: single vs batched status RPS over loopback TCP
@@ -1055,7 +1185,20 @@ int main() {
                  "    \"wal_tail_periods\": %llu,\n"
                  "    \"full_replay_ms\": %.1f,\n"
                  "    \"snapshot_wal_ms\": %.1f,\n"
-                 "    \"speedup\": %.2f\n"
+                 "    \"speedup\": %.2f,\n"
+                 "    \"v1_restore_ms\": %.1f,\n"
+                 "    \"v2_restore_ms\": %.1f,\n"
+                 "    \"mmap_speedup\": %.2f\n"
+                 "  },\n"
+                 "  \"checkpoint\": {\n"
+                 "    \"cycles\": %llu,\n"
+                 "    \"stall_us\": %.1f,\n"
+                 "    \"max_stall_us\": %.1f,\n"
+                 "    \"snapshot_bytes\": %llu,\n"
+                 "    \"shards\": %zu,\n"
+                 "    \"full_bytes\": %llu,\n"
+                 "    \"incremental_bytes\": %llu,\n"
+                 "    \"incremental_bytes_ratio\": %.4f\n"
                  "  },\n"
                  "  \"svc_status\": {\n"
                  "    \"batch_size\": %zu,\n"
@@ -1108,7 +1251,15 @@ int main() {
                  rebuild_speedup, (unsigned long long)kRecEntries,
                  (unsigned long long)recovery_periods,
                  (unsigned long long)kRecTailPeriods, recovery_replay_ms,
-                 recovery_recover_ms, recovery_speedup, kSvcBatch,
+                 recovery_recover_ms, recovery_speedup,
+                 recovery_v1_restore_ms, recovery_v2_restore_ms,
+                 recovery_mmap_speedup,
+                 (unsigned long long)checkpoint_cycles, checkpoint_stall_us,
+                 checkpoint_max_stall_us,
+                 (unsigned long long)checkpoint_snapshot_bytes, kCkptShards,
+                 (unsigned long long)checkpoint_full_bytes,
+                 (unsigned long long)checkpoint_incr_bytes,
+                 checkpoint_incr_ratio, kSvcBatch,
                  svc_single_rps, svc_batch_rps, svc_inproc_single_rps,
                  svc_batch_speedup, mc_cores, mc_rps[0], mc_rps[1],
                  mc_rps[2], mc_rps[3], mc_factor_at_2, mc_factor_at_4,
@@ -1133,6 +1284,21 @@ int main() {
   if (recovery_speedup < 10.0) {
     std::printf("WARNING: snapshot+WAL restart only %.1fx faster than full "
                 "feed replay (acceptance floor: 10x)\n", recovery_speedup);
+  }
+  if (recovery_mmap_speedup < 3.0) {
+    std::printf("WARNING: format-v2 mmap restore only %.1fx faster than the "
+                "v1 streaming restore (acceptance floor: 3x)\n",
+                recovery_mmap_speedup);
+  }
+  if (checkpoint_stall_us > 5000.0) {
+    std::printf("WARNING: background checkpoint freeze stall averaged "
+                "%.0f us (acceptance ceiling: 5000 us)\n",
+                checkpoint_stall_us);
+  }
+  if (checkpoint_incr_ratio > 0.2) {
+    std::printf("WARNING: incremental shard checkpoint wrote %.2fx the full "
+                "checkpoint bytes at 1%% dirt (acceptance ceiling: 0.2x)\n",
+                checkpoint_incr_ratio);
   }
   if (svc_batch_speedup < 3.0) {
     std::printf("WARNING: batched status envelopes only %.1fx the RPS of "

@@ -1,0 +1,96 @@
+// Copy-on-write arena: the storage primitive behind zero-copy snapshots.
+//
+// A CowArena<T> is either *owned* (a plain vector, possibly shared with
+// frozen copies) or a *borrowed view* into somebody else's buffer — an
+// mmap-ed snapshot section kept alive by a refcounted handle. Reads never
+// care which; `mut()` upgrades to a private vector exactly when the first
+// real mutation arrives, so restoring a dictionary from a mapped snapshot
+// costs O(validation) instead of O(copy), and freezing one for a background
+// checkpoint costs O(1) (the copy shares the buffer; whichever side mutates
+// next pays for the clone).
+//
+// Thread contract: mutations (mut/adopt/clear, and copying *from* an arena
+// being mutated) need the same external serialization as the containers
+// that embed this. Once frozen (copied), concurrent readers of both copies
+// are safe — a later mut() on either side only *reads* the shared buffer
+// while cloning into a fresh private one.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ritm::dict {
+
+template <typename T>
+class CowArena {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "CowArena elements must be mmap-adoptable");
+
+ public:
+  CowArena() = default;
+  // Copies share the underlying buffer (owned or borrowed) in O(1).
+  CowArena(const CowArena&) = default;
+  CowArena& operator=(const CowArena&) = default;
+  CowArena(CowArena&&) noexcept = default;
+  CowArena& operator=(CowArena&&) noexcept = default;
+
+  const T* data() const noexcept {
+    return owned_ ? owned_->data() : view_;
+  }
+  std::size_t size() const noexcept {
+    return owned_ ? owned_->size() : view_size_;
+  }
+  bool empty() const noexcept { return size() == 0; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size(); }
+
+  /// True while the contents live in an adopted (mapped) buffer.
+  bool borrowed() const noexcept { return view_ != nullptr; }
+
+  /// Writable storage. Cheap once private; detaches (clones the current
+  /// contents into a fresh private vector) when borrowed or shared.
+  std::vector<T>& mut() {
+    if (owned_ && owned_.use_count() == 1) return *owned_;
+    auto fresh = std::make_shared<std::vector<T>>();
+    fresh->assign(data(), data() + size());
+    owned_ = std::move(fresh);
+    view_ = nullptr;
+    view_size_ = 0;
+    keepalive_.reset();
+    return *owned_;
+  }
+
+  /// Adopts `count` elements at `data` without copying; `keepalive` (e.g.
+  /// the mapped file) is held until this arena detaches or is cleared.
+  void adopt(const T* data, std::size_t count,
+             std::shared_ptr<const void> keepalive) {
+    owned_.reset();
+    view_ = data;
+    view_size_ = count;
+    keepalive_ = std::move(keepalive);
+  }
+
+  void clear() {
+    owned_.reset();
+    keepalive_.reset();
+    view_ = nullptr;
+    view_size_ = 0;
+  }
+
+  /// Resident bytes attributable to this arena (mapped views count at
+  /// their mapped size; owned storage at its capacity).
+  std::size_t memory_bytes() const noexcept {
+    return (owned_ ? owned_->capacity() : view_size_) * sizeof(T);
+  }
+
+ private:
+  std::shared_ptr<std::vector<T>> owned_;      // set when owned
+  std::shared_ptr<const void> keepalive_;      // set when borrowed
+  const T* view_ = nullptr;                    // set when borrowed
+  std::size_t view_size_ = 0;
+};
+
+}  // namespace ritm::dict

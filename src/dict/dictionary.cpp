@@ -1,6 +1,7 @@
 #include "dict/dictionary.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <unordered_set>
 #include <stdexcept>
@@ -9,9 +10,7 @@ namespace ritm::dict {
 
 namespace {
 
-int cmp_serial(const cert::SerialNumber& a, const cert::SerialNumber& b) {
-  return ritm::compare(ByteSpan(a.value), ByteSpan(b.value));
-}
+int cmp_span(ByteSpan a, ByteSpan b) { return ritm::compare(a, b); }
 
 void validate_serials(const std::vector<cert::SerialNumber>& serials) {
   for (const auto& s : serials) {
@@ -19,6 +18,13 @@ void validate_serials(const std::vector<cert::SerialNumber>& serials) {
       throw std::invalid_argument("Dictionary::insert: bad serial length");
     }
   }
+}
+
+LogRecord make_record(const cert::SerialNumber& s) {
+  LogRecord rec;
+  rec.len = static_cast<std::uint8_t>(s.value.size());
+  std::memcpy(rec.bytes, s.value.data(), s.value.size());
+  return rec;
 }
 
 }  // namespace
@@ -29,25 +35,28 @@ const crypto::Digest20& Dictionary::root() const {
   return node(level_count_ - 1, 0);
 }
 
-std::size_t Dictionary::lower_bound(const cert::SerialNumber& s) const {
-  auto it = std::lower_bound(
-      sorted_.begin(), sorted_.end(), s,
-      [&](std::uint32_t idx, const cert::SerialNumber& key) {
-        return cmp_serial(log_[idx].serial, key) < 0;
+std::size_t Dictionary::lower_bound(ByteSpan serial) const {
+  const std::uint32_t* first = sorted_.begin();
+  const std::uint32_t* it = std::lower_bound(
+      first, sorted_.end(), serial,
+      [&](std::uint32_t idx, ByteSpan key) {
+        return cmp_span(serial_at(idx), key) < 0;
       });
-  return static_cast<std::size_t>(it - sorted_.begin());
+  return static_cast<std::size_t>(it - first);
 }
 
 bool Dictionary::contains(const cert::SerialNumber& serial) const {
-  const std::size_t pos = lower_bound(serial);
-  return pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, serial) == 0;
+  const ByteSpan key(serial.value);
+  const std::size_t pos = lower_bound(key);
+  return pos < sorted_.size() && cmp_span(serial_at(sorted_[pos]), key) == 0;
 }
 
 std::optional<std::uint64_t> Dictionary::number_of(
     const cert::SerialNumber& serial) const {
-  const std::size_t pos = lower_bound(serial);
-  if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, serial) == 0) {
-    return at_sorted(pos).number;
+  const ByteSpan key(serial.value);
+  const std::size_t pos = lower_bound(key);
+  if (pos < sorted_.size() && cmp_span(serial_at(sorted_[pos]), key) == 0) {
+    return sorted_[pos] + 1;  // numbering == log position + 1
   }
   return std::nullopt;
 }
@@ -55,7 +64,9 @@ std::optional<std::uint64_t> Dictionary::number_of(
 std::vector<Entry> Dictionary::insert(
     const std::vector<cert::SerialNumber>& serials) {
   // Validate everything before mutating anything, so a bad serial anywhere
-  // in the batch leaves the dictionary untouched.
+  // in the batch leaves the dictionary untouched. mut() is deferred to the
+  // first actual append: an all-duplicates batch never detaches a shared
+  // (frozen or mapped) arena.
   validate_serials(serials);
 
   std::vector<Entry> added;
@@ -69,16 +80,18 @@ std::vector<Entry> Dictionary::insert(
 
   if (serials.size() <= kBatchThreshold) {
     for (const auto& s : serials) {
-      const std::size_t pos = lower_bound(s);
-      if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, s) == 0) {
+      const std::size_t pos = lower_bound(ByteSpan(s.value));
+      if (pos < sorted_.size() &&
+          cmp_span(serial_at(sorted_[pos]), ByteSpan(s.value)) == 0) {
         continue;  // already revoked (or duplicated in batch); idempotent
       }
-      Entry e{s, log_.size() + 1};
-      log_.push_back(e);
-      sorted_.insert(sorted_.begin() + static_cast<std::ptrdiff_t>(pos),
-                     static_cast<std::uint32_t>(log_.size() - 1));
+      const std::uint64_t number = log_.size() + 1;
+      log_.mut().push_back(make_record(s));
+      auto& sorted = sorted_.mut();
+      sorted.insert(sorted.begin() + static_cast<std::ptrdiff_t>(pos),
+                    static_cast<std::uint32_t>(number - 1));
       mark_dirty(pos);
-      added.push_back(std::move(e));
+      added.push_back(Entry{s, number});
     }
   } else {
     const std::size_t old_size = log_.size();
@@ -88,9 +101,9 @@ std::vector<Entry> Dictionary::insert(
       std::string key(s.value.begin(), s.value.end());
       if (!batch_seen.insert(std::move(key)).second) continue;
       if (contains(s)) continue;  // lookups see only pre-batch entries
-      Entry e{s, log_.size() + 1};
-      log_.push_back(e);
-      added.push_back(std::move(e));
+      const std::uint64_t number = log_.size() + 1;
+      log_.mut().push_back(make_record(s));
+      added.push_back(Entry{s, number});
     }
     if (!added.empty()) {
       // Merge the pre-sorted index with the (sorted) batch in O(n + k)
@@ -105,21 +118,21 @@ std::vector<Entry> Dictionary::insert(
       }
       std::sort(fresh.begin(), fresh.end(),
                 [&](std::uint32_t a, std::uint32_t b) {
-                  return cmp_serial(log_[a].serial, log_[b].serial) < 0;
+                  return cmp_span(serial_at(a), serial_at(b)) < 0;
                 });
-      sorted_.resize(old_size + k);
+      auto& sorted = sorted_.mut();
+      sorted.resize(old_size + k);
       std::size_t i = old_size;      // unmerged tail of the old index
       std::size_t j = k;             // unmerged tail of the batch
       std::size_t w = old_size + k;  // write cursor
       std::size_t first_new = 0;     // lowest position that received a new leaf
       while (j > 0) {
         if (i > 0 &&
-            cmp_serial(log_[sorted_[i - 1]].serial,
-                       log_[fresh[j - 1]].serial) > 0) {
-          sorted_[--w] = sorted_[--i];
+            cmp_span(serial_at(sorted[i - 1]), serial_at(fresh[j - 1])) > 0) {
+          sorted[--w] = sorted[--i];
         } else {
           first_new = --w;
-          sorted_[w] = fresh[--j];
+          sorted[w] = fresh[--j];
         }
       }
       // Positions below first_new kept their leaves; everything from it
@@ -142,12 +155,13 @@ bool Dictionary::update(const std::vector<cert::SerialNumber>& serials,
   // drop the (partially rebuilt) tree wholesale — the incremental machinery
   // only handles growth, so a shrink forces the next root() to rebuild from
   // scratch, which reproduces the pre-update root byte for byte.
-  log_.resize(old_size);
-  sorted_.erase(std::remove_if(sorted_.begin(), sorted_.end(),
-                               [&](std::uint32_t idx) {
-                                 return idx >= old_size;
-                               }),
-                sorted_.end());
+  log_.mut().resize(old_size);
+  auto& sorted = sorted_.mut();
+  sorted.erase(std::remove_if(sorted.begin(), sorted.end(),
+                              [&](std::uint32_t idx) {
+                                return idx >= old_size;
+                              }),
+               sorted.end());
   invalidate_tree();
   // The contents are back to the pre-update state, but the epoch advances
   // once more: versions never repeat, so epoch-keyed caches stay sound even
@@ -167,7 +181,7 @@ void Dictionary::invalidate_tree() const noexcept {
   built_leaves_ = 0;
 }
 
-void Dictionary::layout(std::size_t n) const {
+void Dictionary::compute_layout(std::size_t n) const {
   std::size_t cap = 1;
   while (cap < n) cap <<= 1;
   leaf_cap_ = cap;
@@ -180,29 +194,37 @@ void Dictionary::layout(std::size_t n) const {
     level_off_[l] = off;
     off += cap >> l;
   }
-  tree_.resize(off);  // 2*cap - 1 nodes
+  level_count_ = levels;
+}
+
+void Dictionary::layout(std::size_t n) const {
+  compute_layout(n);
+  tree_.mut().resize(2 * leaf_cap_ - 1);
   built_leaves_ = 0;
   dirty_lo_ = 0;
 }
 
-void Dictionary::hash_leaves(std::size_t lo, std::size_t n) const {
+void Dictionary::hash_leaves(crypto::Digest20* arena, std::size_t lo,
+                             std::size_t n) const {
   constexpr std::size_t kChunk = 64;
   std::uint8_t enc[kChunk][kLeafPreimageMax];
   ByteSpan spans[kChunk];
   for (std::size_t base = lo; base < n; base += kChunk) {
     const std::size_t m = std::min(kChunk, n - base);
     for (std::size_t j = 0; j < m; ++j) {
-      const Entry& e = log_[sorted_[base + j]];
-      spans[j] = ByteSpan(enc[j], encode_leaf_preimage(e, enc[j]));
+      const std::uint32_t idx = sorted_[base + j];
+      spans[j] = ByteSpan(
+          enc[j], encode_leaf_preimage(serial_at(idx), idx + 1, enc[j]));
     }
     crypto::hash20_batch(std::span<const ByteSpan>(spans, m),
-                         &node(0, base));
+                         arena + level_off_[0] + base);
     last_rebuild_hashes_ += m;
   }
 }
 
-void Dictionary::hash_inner(std::size_t level, std::size_t lo,
-                            std::size_t next_size, std::size_t size) const {
+void Dictionary::hash_inner(crypto::Digest20* arena, std::size_t level,
+                            std::size_t lo, std::size_t next_size,
+                            std::size_t size) const {
   // Dirty parents [lo, next_size) at `level + 1` from children at `level`
   // (which holds `size` nodes), fed through the batch entry point in 64-node
   // chunks so the ancestor spine keeps the multi-lane engine saturated, not
@@ -211,6 +233,8 @@ void Dictionary::hash_inner(std::size_t level, std::size_t lo,
   std::size_t paired_end = next_size;
   if (size % 2 != 0) --paired_end;
 
+  const crypto::Digest20* child = arena + level_off_[level];
+  crypto::Digest20* parent = arena + level_off_[level + 1];
   constexpr std::size_t kChunk = 64;
   std::uint8_t enc[kChunk][kNodePreimageSize];
   ByteSpan spans[kChunk];
@@ -218,17 +242,16 @@ void Dictionary::hash_inner(std::size_t level, std::size_t lo,
     const std::size_t m = std::min(kChunk, paired_end - base);
     for (std::size_t j = 0; j < m; ++j) {
       const std::size_t i = base + j;
-      encode_node_preimage(node(level, 2 * i), node(level, 2 * i + 1), enc[j]);
+      encode_node_preimage(child[2 * i], child[2 * i + 1], enc[j]);
       spans[j] = ByteSpan(enc[j], kNodePreimageSize);
     }
     // Parents are contiguous in the arena, so the batch writes them in
     // place — no copy-out staging.
-    crypto::hash20_batch(std::span<const ByteSpan>(spans, m),
-                         &node(level + 1, base));
+    crypto::hash20_batch(std::span<const ByteSpan>(spans, m), parent + base);
     last_rebuild_hashes_ += m;
   }
   if (paired_end < next_size && lo <= paired_end) {
-    node(level + 1, paired_end) = node(level, 2 * paired_end);
+    parent[paired_end] = child[2 * paired_end];
   }
 }
 
@@ -252,8 +275,12 @@ void Dictionary::rebuild() const {
   // otherwise lay out a fresh arena and rehash everything.
   if (built_leaves_ == 0 || n < built_leaves_ || n > leaf_cap_) layout(n);
 
+  // One writable pointer for the whole rebuild: the first mutation after a
+  // freeze or an mmap adoption pays for the arena clone here, once.
+  crypto::Digest20* arena = tree_.mut().data();
+
   std::size_t lo = std::min(dirty_lo_, n);
-  hash_leaves(lo, n);
+  hash_leaves(arena, lo, n);
   level_size_[0] = n;
 
   std::size_t size = n;
@@ -261,7 +288,7 @@ void Dictionary::rebuild() const {
   while (size > 1) {
     const std::size_t next_size = (size + 1) / 2;
     const std::size_t next_lo = lo >> 1;
-    hash_inner(level, next_lo, next_size, size);
+    hash_inner(arena, level, next_lo, next_size, size);
     level_size_[level + 1] = next_size;
     size = next_size;
     lo = next_lo;
@@ -277,7 +304,7 @@ void Dictionary::rebuild() const {
 LeafProof Dictionary::make_leaf_proof(std::size_t sorted_pos) const {
   rebuild();
   LeafProof p;
-  p.entry = at_sorted(sorted_pos);
+  p.entry = entry_at(sorted_[sorted_pos]);
   p.index = sorted_pos;
   p.path.reserve(level_count_ > 0 ? level_count_ - 1 : 0);
   std::size_t pos = sorted_pos;
@@ -295,8 +322,9 @@ Proof Dictionary::prove(const cert::SerialNumber& serial) const {
     proof.type = Proof::Type::absence;
     return proof;
   }
-  const std::size_t pos = lower_bound(serial);
-  if (pos < sorted_.size() && cmp_serial(at_sorted(pos).serial, serial) == 0) {
+  const ByteSpan key(serial.value);
+  const std::size_t pos = lower_bound(key);
+  if (pos < sorted_.size() && cmp_span(serial_at(sorted_[pos]), key) == 0) {
     proof.type = Proof::Type::presence;
     proof.leaf = make_leaf_proof(pos);
     return proof;
@@ -311,8 +339,10 @@ std::vector<Entry> Dictionary::entries_from(std::uint64_t first_number) const {
   std::vector<Entry> out;
   if (first_number == 0) first_number = 1;
   if (first_number > log_.size()) return out;
-  out.assign(log_.begin() + static_cast<std::ptrdiff_t>(first_number - 1),
-             log_.end());
+  out.reserve(log_.size() - (first_number - 1));
+  for (std::size_t i = first_number - 1; i < log_.size(); ++i) {
+    out.push_back(entry_at(i));
+  }
   return out;
 }
 
@@ -331,7 +361,7 @@ void Dictionary::snapshot_into(ByteWriter& w) const {
   w.u8(kSnapshotVersion);
   w.u64(epoch_);
   w.u64(log_.size());
-  for (const Entry& e : log_) w.var8(ByteSpan(e.serial.value));
+  for (std::size_t i = 0; i < log_.size(); ++i) w.var8(serial_at(i));
   for (const std::uint32_t idx : sorted_) w.u32(idx);
   w.raw(ByteSpan(root()));
 }
@@ -352,14 +382,17 @@ void Dictionary::restore_from(ByteReader& r) {
   if (*n64 > r.remaining() / 2) throw bad("entry count exceeds input");
   const std::size_t n = static_cast<std::size_t>(*n64);
 
-  std::vector<Entry> log;
+  std::vector<LogRecord> log;
   log.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto serial = r.try_var8();
     if (!serial || serial->empty() || serial->size() > cert::kMaxSerialBytes) {
       throw bad("bad serial");
     }
-    log.push_back(Entry{cert::SerialNumber{std::move(*serial)}, i + 1});
+    LogRecord rec;
+    rec.len = static_cast<std::uint8_t>(serial->size());
+    std::memcpy(rec.bytes, serial->data(), serial->size());
+    log.push_back(rec);
   }
   std::vector<std::uint32_t> sorted;
   sorted.reserve(n);
@@ -368,7 +401,9 @@ void Dictionary::restore_from(ByteReader& r) {
     if (!idx || *idx >= n) throw bad("bad sorted index");
     // Strictly increasing serials also rule out duplicate indices: a
     // repeated index would repeat its serial and fail the comparison.
-    if (i > 0 && cmp_serial(log[sorted.back()].serial, log[*idx].serial) >= 0) {
+    if (i > 0 &&
+        cmp_span(ByteSpan(log[sorted.back()].bytes, log[sorted.back()].len),
+                 ByteSpan(log[*idx].bytes, log[*idx].len)) >= 0) {
       throw bad("sorted index out of order");
     }
     sorted.push_back(*idx);
@@ -383,29 +418,98 @@ void Dictionary::restore_from(ByteReader& r) {
   // describe a state this code ever produced. *this is only replaced on
   // success, so a failed restore leaves the dictionary untouched.
   Dictionary fresh;
-  fresh.log_ = std::move(log);
-  fresh.sorted_ = std::move(sorted);
+  fresh.log_.mut() = std::move(log);
+  fresh.sorted_.mut() = std::move(sorted);
   fresh.epoch_ = *epoch;
   if (fresh.root() != recorded) throw bad("recorded root mismatch");
+  *this = std::move(fresh);
+}
+
+DictSections Dictionary::snapshot_sections() const {
+  DictSections s;
+  s.root = root();  // rebuilds first, so tree bytes match the contents
+  s.epoch = epoch_;
+  s.n = log_.size();
+  if (s.n == 0) return s;
+  s.log = ByteSpan(reinterpret_cast<const std::uint8_t*>(log_.data()),
+                   log_.size() * sizeof(LogRecord));
+  s.sorted = ByteSpan(reinterpret_cast<const std::uint8_t*>(sorted_.data()),
+                      sorted_.size() * sizeof(std::uint32_t));
+  s.tree = ByteSpan(reinterpret_cast<const std::uint8_t*>(tree_.data()),
+                    tree_.size() * sizeof(crypto::Digest20));
+  return s;
+}
+
+void Dictionary::restore_sections(const DictSections& s,
+                                  std::shared_ptr<const void> keepalive) {
+  const auto bad = [](const char* what) -> std::runtime_error {
+    return std::runtime_error(std::string("Dictionary::restore_sections: ") +
+                              what);
+  };
+  const std::size_t n = static_cast<std::size_t>(s.n);
+  Dictionary fresh;
+  fresh.epoch_ = s.epoch;
+  if (n == 0) {
+    if (!s.log.empty() || !s.sorted.empty() || !s.tree.empty()) {
+      throw bad("nonempty sections for empty dictionary");
+    }
+    if (s.root != empty_root()) throw bad("recorded root mismatch");
+    fresh.dirty_lo_ = kClean;
+    fresh.tree_valid_ = true;
+    *this = std::move(fresh);
+    return;
+  }
+  if (s.log.size() != n * sizeof(LogRecord)) throw bad("log section size");
+  if (s.sorted.size() != n * sizeof(std::uint32_t)) {
+    throw bad("sorted section size");
+  }
+  fresh.compute_layout(n);
+  const std::size_t tree_nodes = 2 * fresh.leaf_cap_ - 1;
+  if (s.tree.size() != tree_nodes * sizeof(crypto::Digest20)) {
+    throw bad("tree section size");
+  }
+  // Memory-safety validation only (O(n), no hashing): record lengths and
+  // index bounds keep every later access in range.
+  const auto* log = reinterpret_cast<const LogRecord*>(s.log.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (log[i].len == 0 || log[i].len > cert::kMaxSerialBytes) {
+      throw bad("bad serial length");
+    }
+  }
+  const auto* sorted = reinterpret_cast<const std::uint32_t*>(s.sorted.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sorted[i] >= n) throw bad("sorted index out of range");
+  }
+  const auto* tree = reinterpret_cast<const crypto::Digest20*>(s.tree.data());
+  if (tree[fresh.level_off_[fresh.level_count_ - 1]] != s.root) {
+    throw bad("recorded root mismatch");
+  }
+  std::size_t sz = n;
+  for (std::size_t l = 0; l < fresh.level_count_; ++l) {
+    fresh.level_size_[l] = sz;
+    sz = (sz + 1) / 2;
+  }
+  fresh.log_.adopt(log, n, keepalive);
+  fresh.sorted_.adopt(sorted, n, keepalive);
+  fresh.tree_.adopt(tree, tree_nodes, std::move(keepalive));
+  fresh.built_leaves_ = n;
+  fresh.dirty_lo_ = kClean;
+  fresh.tree_valid_ = true;
   *this = std::move(fresh);
 }
 
 std::size_t Dictionary::storage_bytes() const noexcept {
   // Persisted form: per entry, 1 length byte + serial bytes + 8-byte number.
   std::size_t total = 0;
-  for (const auto& e : log_) total += 1 + e.serial.value.size() + 8;
+  for (const LogRecord& rec : log_) total += 1 + rec.len + 8;
   return total;
 }
 
 std::size_t Dictionary::memory_bytes() const noexcept {
   rebuild();
-  std::size_t total = 0;
-  for (const auto& e : log_) total += sizeof(Entry) + e.serial.value.capacity();
-  total += sorted_.capacity() * sizeof(std::uint32_t);
-  total += tree_.capacity() * sizeof(crypto::Digest20);
-  total += (level_off_.capacity() + level_size_.capacity()) *
-           sizeof(std::size_t);
-  return total;
+  return log_.memory_bytes() + sorted_.memory_bytes() + tree_.memory_bytes() +
+         (level_off_.capacity() + level_size_.capacity()) *
+             sizeof(std::size_t);
 }
 
 }  // namespace ritm::dict

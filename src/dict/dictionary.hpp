@@ -14,17 +14,52 @@
 // spine. A Δ-batch of appends past the current maximum serial therefore
 // costs O(batch + log n) hashes instead of O(n). Proof generation is
 // O(log n).
+//
+// All three arenas (log, sorted index, digest tree) are copy-on-write
+// (dict/arena.hpp): the log is fixed-width 24-byte records, so a snapshot
+// can dump the arenas verbatim into 64-byte-aligned file sections
+// (snapshot_sections) and a restart can adopt them straight out of an
+// mmap-ed snapshot (restore_sections) — zero copy until the first
+// mutation. Copying a Dictionary is O(1) and yields a stable frozen view,
+// which is what the background checkpointer snapshots while serving
+// continues.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/io.hpp"
+#include "dict/arena.hpp"
 #include "dict/proof.hpp"
 
 namespace ritm::dict {
+
+/// One entry of the append-only log in its arena form: a fixed-width,
+/// mmap-adoptable record. The revocation number is implicit (position + 1).
+struct LogRecord {
+  std::uint8_t len = 0;
+  std::uint8_t bytes[23] = {};
+};
+static_assert(sizeof(LogRecord) == 24, "snapshot sections assume 24B records");
+static_assert(cert::kMaxSerialBytes <= sizeof(LogRecord::bytes),
+              "serials must fit a LogRecord");
+
+/// The raw arena sections of one dictionary — what snapshot format v2
+/// persists verbatim and what an mmap restore adopts in place. Spans use the
+/// dictionary's in-memory (host-endian) layout; the snapshot container
+/// carries an endianness tag so a foreign-endian file falls back to the
+/// streaming path instead of being misread.
+struct DictSections {
+  std::uint64_t epoch = 0;
+  std::uint64_t n = 0;
+  crypto::Digest20 root{};
+  ByteSpan log;     // n * sizeof(LogRecord)
+  ByteSpan sorted;  // n * sizeof(uint32_t)
+  ByteSpan tree;    // (2 * leaf_cap - 1) * 20, empty when n == 0
+};
 
 class Dictionary {
  public:
@@ -78,9 +113,10 @@ class Dictionary {
 
   /// Serializes the dictionary (versioned, length-prefixed: epoch, the
   /// entry log, the sorted index, and the current root) into `w` — the
-  /// snapshot payload of the persistence layer (src/persist/). The encoding
-  /// streams straight out of the flat arenas; it rebuilds lazily first so
-  /// the recorded root always matches the recorded contents.
+  /// v1 streaming snapshot payload of the persistence layer
+  /// (src/persist/). The encoding streams straight out of the flat arenas;
+  /// it rebuilds lazily first so the recorded root always matches the
+  /// recorded contents.
   void snapshot_into(ByteWriter& w) const;
 
   /// Restores a dictionary serialized by snapshot_into(). No per-entry
@@ -90,6 +126,24 @@ class Dictionary {
   /// std::runtime_error on malformed input or a root mismatch, leaving the
   /// dictionary untouched.
   void restore_from(ByteReader& r);
+
+  /// The raw arena sections for a v2 (mmap-able) snapshot. Forces a rebuild
+  /// first so the tree section and recorded root match the contents; the
+  /// spans alias this dictionary's arenas and stay valid until the next
+  /// mutation (freeze — copy — first when persisting off-thread).
+  DictSections snapshot_sections() const;
+
+  /// Adopts v2 snapshot sections in place: validates record lengths, index
+  /// bounds, section sizes, and that the recorded root equals the tree
+  /// arena's top node, then aliases the spans directly (holding `keepalive`
+  /// — typically the mapped snapshot file — until the first mutation
+  /// detaches). No hashing, no copy. Unlike restore_from, the sorted
+  /// *order* is not re-verified here — section CRCs guard integrity, and
+  /// untrusted wire payloads (bootstrap/sync) always take the v1 path.
+  /// Throws std::runtime_error on malformed sections, leaving this
+  /// dictionary untouched.
+  void restore_sections(const DictSections& s,
+                        std::shared_ptr<const void> keepalive);
 
   /// Bytes needed to persist the raw revocation list (serials + numbers) —
   /// the paper's "storage overhead" (§VII-D).
@@ -116,35 +170,50 @@ class Dictionary {
   static constexpr std::size_t kClean = std::numeric_limits<std::size_t>::max();
 
   void rebuild() const;
+  /// Derives leaf_cap_, level_off_/level_size_ shapes, and level_count_ for
+  /// `n` leaves without touching the tree arena (shared by the mutation
+  /// path and mmap adoption).
+  void compute_layout(std::size_t n) const;
   /// (Re)allocates the flat arena for `n` leaves: capacity is the next power
   /// of two, offsets are derived from capacity so they survive growth.
   void layout(std::size_t n) const;
-  /// Hashes leaves [lo, n) into level 0 via the batch entry point.
-  void hash_leaves(std::size_t lo, std::size_t n) const;
+  /// Hashes leaves [lo, n) into level 0 of `arena` via the batch entry point.
+  void hash_leaves(crypto::Digest20* arena, std::size_t lo,
+                   std::size_t n) const;
   /// Hashes dirty parents [lo, next_size) at `level + 1` from the `size`
   /// children at `level`, batched in 64-node chunks (multi-lane engine).
-  void hash_inner(std::size_t level, std::size_t lo, std::size_t next_size,
-                  std::size_t size) const;
+  void hash_inner(crypto::Digest20* arena, std::size_t level, std::size_t lo,
+                  std::size_t next_size, std::size_t size) const;
   /// Records that sorted positions >= pos must be rehashed.
   void mark_dirty(std::size_t pos) noexcept;
 
-  crypto::Digest20& node(std::size_t level, std::size_t i) const {
-    return tree_[level_off_[level] + i];
+  const crypto::Digest20& node(std::size_t level, std::size_t i) const {
+    return tree_.data()[level_off_[level] + i];
+  }
+
+  /// Serial bytes of log entry `idx` (the entry's number is idx + 1).
+  ByteSpan serial_at(std::size_t idx) const noexcept {
+    const LogRecord& r = log_[idx];
+    return ByteSpan(r.bytes, r.len);
+  }
+  /// Materializes log entry `idx` as an owning Entry (allocates).
+  Entry entry_at(std::size_t idx) const {
+    const LogRecord& r = log_[idx];
+    return Entry{cert::SerialNumber{Bytes(r.bytes, r.bytes + r.len)}, idx + 1};
   }
 
   /// Position in sorted_ of first entry with serial >= s.
-  std::size_t lower_bound(const cert::SerialNumber& s) const;
+  std::size_t lower_bound(ByteSpan serial) const;
   LeafProof make_leaf_proof(std::size_t sorted_pos) const;
-  const Entry& at_sorted(std::size_t pos) const { return log_[sorted_[pos]]; }
 
-  std::vector<Entry> log_;            // numbering order, append-only
-  std::vector<std::uint32_t> sorted_; // indices into log_, sorted by serial
-  std::uint64_t epoch_ = 0;           // version counter, see epoch()
+  CowArena<LogRecord> log_;            // numbering order, append-only
+  CowArena<std::uint32_t> sorted_;     // indices into log_, sorted by serial
+  std::uint64_t epoch_ = 0;            // version counter, see epoch()
 
   // Flat Merkle arena: level 0 (leaves) first, root level last. Offsets are
   // computed from leaf_cap_ (a power of two), so growing n within capacity
   // never moves existing nodes.
-  mutable std::vector<crypto::Digest20> tree_;
+  mutable CowArena<crypto::Digest20> tree_;
   mutable std::vector<std::size_t> level_off_;
   mutable std::vector<std::size_t> level_size_;
   mutable std::size_t level_count_ = 0;

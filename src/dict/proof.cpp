@@ -7,14 +7,19 @@
 namespace ritm::dict {
 
 std::size_t encode_leaf_preimage(const Entry& e, std::uint8_t* buf) noexcept {
+  return encode_leaf_preimage(ByteSpan(e.serial.value), e.number, buf);
+}
+
+std::size_t encode_leaf_preimage(ByteSpan serial, std::uint64_t number,
+                                 std::uint8_t* buf) noexcept {
   // Stack-encoded 0x00 ‖ len ‖ serial ‖ number — this runs once per dirty
   // leaf on every tree rebuild, so it must not allocate.
   std::size_t off = 0;
   buf[off++] = 0x00;
-  buf[off++] = static_cast<std::uint8_t>(e.serial.value.size());
-  for (std::uint8_t b : e.serial.value) buf[off++] = b;
+  buf[off++] = static_cast<std::uint8_t>(serial.size());
+  for (std::uint8_t b : serial) buf[off++] = b;
   for (int s = 56; s >= 0; s -= 8) {
-    buf[off++] = static_cast<std::uint8_t>(e.number >> s);
+    buf[off++] = static_cast<std::uint8_t>(number >> s);
   }
   return off;
 }

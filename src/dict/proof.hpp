@@ -40,6 +40,11 @@ constexpr std::size_t kLeafPreimageMax = 2 + cert::kMaxSerialBytes + 8;
 /// can never drift apart.
 std::size_t encode_leaf_preimage(const Entry& e, std::uint8_t* buf) noexcept;
 
+/// Same preimage from raw serial bytes + number — the dictionary's arena
+/// form, so the batch rebuild loop never materializes an Entry.
+std::size_t encode_leaf_preimage(ByteSpan serial, std::uint64_t number,
+                                 std::uint8_t* buf) noexcept;
+
 /// Leaf hash: H(0x00 ‖ len(serial) ‖ serial ‖ number). Domain-separated from
 /// interior nodes to rule out second-preimage splices.
 crypto::Digest20 leaf_hash(const Entry& e) noexcept;

@@ -173,6 +173,16 @@ void ShardedDictionary::restore_from(ByteReader& r) {
   shards_ = std::move(shards);
 }
 
+void ShardedDictionary::install(UnixSeconds bucket_width, std::uint64_t epoch,
+                                std::map<std::uint64_t, Dictionary> shards) {
+  if (bucket_width <= 0) {
+    throw std::invalid_argument("ShardedDictionary: bucket width must be > 0");
+  }
+  bucket_width_ = bucket_width;
+  epoch_ = epoch;
+  shards_ = std::move(shards);
+}
+
 std::vector<std::pair<std::uint64_t, crypto::Digest20>>
 ShardedDictionary::shard_roots() const {
   std::vector<std::pair<std::uint64_t, crypto::Digest20>> out;

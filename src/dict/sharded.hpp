@@ -91,6 +91,23 @@ class ShardedDictionary {
   /// malformed input, leaving this instance untouched.
   void restore_from(ByteReader& r);
 
+  /// Live shards keyed by shard index — the read-only view incremental
+  /// checkpointing walks (persist::ShardCheckpointer compares each shard
+  /// Dictionary's epoch() against what is on disk and rewrites only the
+  /// dirty ones).
+  const std::map<std::uint64_t, Dictionary>& shards() const noexcept {
+    return shards_;
+  }
+  UnixSeconds bucket_width() const noexcept { return bucket_width_; }
+
+  /// Installs recovered state wholesale (the incremental-checkpoint restore
+  /// path): replaces every shard and adopts the given width and epoch. The
+  /// caller has already validated each shard (restore_sections checks the
+  /// recorded roots). Throws std::invalid_argument on a non-positive width,
+  /// leaving this instance untouched.
+  void install(UnixSeconds bucket_width, std::uint64_t epoch,
+               std::map<std::uint64_t, Dictionary> shards);
+
  private:
   UnixSeconds bucket_width_;
   std::map<std::uint64_t, Dictionary> shards_;

@@ -25,4 +25,19 @@ RecoveryResult Recovery::recover(const std::string& dir) {
   return result;
 }
 
+MappedRecovery Recovery::recover_mapped(const std::string& dir) {
+  MappedRecovery result;
+  result.snapshot = SnapshotFile::map_newest(dir, &result.snapshots_skipped);
+  const std::uint64_t snapshot_seq =
+      result.snapshot ? result.snapshot->seq : 0;
+
+  WalScan scan = WriteAheadLog::scan_file(wal_path(dir));
+  result.wal_truncated_bytes = scan.truncated_bytes;
+  result.tail.reserve(scan.records.size());
+  for (auto& rec : scan.records) {
+    if (rec.seq > snapshot_seq) result.tail.push_back(std::move(rec));
+  }
+  return result;
+}
+
 }  // namespace ritm::persist

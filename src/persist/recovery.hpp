@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,16 @@ struct RecoveryResult {
   std::uint64_t snapshot_seq = 0;
   Bytes snapshot;                 // newest valid snapshot payload
   std::vector<WalRecord> tail;    // valid WAL records with seq > snapshot_seq
+  std::uint64_t wal_truncated_bytes = 0;  // torn/corrupt tail detected
+  std::uint64_t snapshots_skipped = 0;    // corrupt snapshot files passed over
+};
+
+/// Zero-copy recovery scan (format v2, PR 9): the snapshot stays mapped
+/// instead of being read into a buffer, so the caller can adopt arena
+/// sections in place. A v1 snapshot surfaces as one kLegacySection view.
+struct MappedRecovery {
+  std::optional<SnapshotFile::Mapped> snapshot;
+  std::vector<WalRecord> tail;    // valid WAL records with seq > snapshot seq
   std::uint64_t wal_truncated_bytes = 0;  // torn/corrupt tail detected
   std::uint64_t snapshots_skipped = 0;    // corrupt snapshot files passed over
 };
@@ -48,6 +59,12 @@ class Recovery {
   /// keep appending open the WAL afterwards, which truncates any torn tail
   /// reported here.
   static RecoveryResult recover(const std::string& dir);
+
+  /// Same scan, but the snapshot is returned as a live mapping
+  /// (SnapshotFile::map_newest) whose sections the caller adopts without
+  /// copying. The mapping must be kept alive for as long as any adopted
+  /// section is in use.
+  static MappedRecovery recover_mapped(const std::string& dir);
 };
 
 }  // namespace ritm::persist

@@ -119,6 +119,7 @@ WalScan WriteAheadLog::open(const std::string& path, Options opts) {
   const Bytes existing = read_file(path);
   WalScan scan = scan_bytes(ByteSpan(existing));
 
+  const bool fresh = ::access(path.c_str(), F_OK) != 0;
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd_ < 0) fail("open");
 
@@ -130,6 +131,20 @@ WalScan WriteAheadLog::open(const std::string& path, Options opts) {
     w.u32(kVersion);
     write_all(fd_, ByteSpan(w.bytes()));
     if (::fsync(fd_) != 0) fail("fsync");
+    if (fresh) {
+      // The file's own fsync does not persist its directory entry: without
+      // an fsync of the parent, a power loss can make the whole log vanish
+      // even though records were "durably" appended to it.
+      const std::size_t slash = path.find_last_of('/');
+      const std::string dir = slash == std::string::npos
+                                  ? std::string(".")
+                                  : path.substr(0, slash);
+      const int dfd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+      if (dfd < 0) fail("open dir for fsync");
+      const int rc = ::fsync(dfd);
+      ::close(dfd);
+      if (rc != 0) fail("fsync dir");
+    }
     size_ = kHeaderSize;
   } else {
     if (scan.truncated_bytes > 0) {

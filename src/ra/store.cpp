@@ -404,6 +404,13 @@ std::size_t DictionaryStore::memory_bytes() const {
 // configuration (register_ca), not replicated state, and are not persisted.
 namespace {
 constexpr std::uint8_t kStoreSnapshotVersion = 1;
+// Format v2 meta section (store.hpp kSectionMeta): u8 version, u32
+// ca_count, then per CA (in CaId order): var16 ca, u8 have_root, u8
+// desynchronized, [var16 signed root when have_root], 20B freshness,
+// u64 freshness_period, u64 freshness_seq, u64 dict_epoch, u64 dict_n,
+// 20B dict_root. The dictionaries' bulk data lives in the per-CA arena
+// sections, not in the meta.
+constexpr std::uint8_t kStoreSnapshotVersion2 = 2;
 }  // namespace
 
 void DictionaryStore::snapshot_into(ByteWriter& w) const {
@@ -481,34 +488,184 @@ void DictionaryStore::restore_from(ByteReader& r) {
   cas_ = std::move(staged);
 }
 
+DictionaryStore::FrozenStore DictionaryStore::freeze() const {
+  FrozenStore frozen;
+  frozen.mutation_seq = mutation_seq_;
+  frozen.cas.reserve(cas_.size());
+  for (const auto& [ca, state] : cas_) {
+    FrozenStore::FrozenCa f;
+    f.ca = ca;
+    f.have_root = state.have_root;
+    f.desynchronized = state.desynchronized;
+    f.root = state.root;
+    f.freshness = state.freshness;
+    f.freshness_period = state.freshness_period;
+    f.freshness_seq = state.freshness_seq;
+    f.dict = state.dict;  // O(1): the arenas are shared copy-on-write
+    frozen.cas.push_back(std::move(f));
+  }
+  return frozen;
+}
+
+std::uint64_t DictionaryStore::persist_frozen(const FrozenStore& frozen,
+                                              const std::string& dir) {
+  Bytes meta;
+  ByteWriter w(meta);
+  w.u8(kStoreSnapshotVersion2);
+  w.u32(static_cast<std::uint32_t>(frozen.cas.size()));
+  // snapshot_sections() forces each dictionary's tree valid first; a dirty
+  // frozen copy detaches and rebuilds here, off whatever lock guarded the
+  // freeze, never on the serving path.
+  std::vector<dict::DictSections> secs(frozen.cas.size());
+  for (std::size_t i = 0; i < frozen.cas.size(); ++i) {
+    const FrozenStore::FrozenCa& ca = frozen.cas[i];
+    secs[i] = ca.dict.snapshot_sections();
+    w.var16(ByteSpan(bytes_of(ca.ca)));
+    w.u8(ca.have_root ? 1 : 0);
+    w.u8(ca.desynchronized ? 1 : 0);
+    if (ca.have_root) w.var16(ByteSpan(ca.root.encode()));
+    w.raw(ByteSpan(ca.freshness));
+    w.u64(ca.freshness_period);
+    w.u64(ca.freshness_seq);
+    w.u64(secs[i].epoch);
+    w.u64(secs[i].n);
+    w.raw(ByteSpan(secs[i].root));
+  }
+  std::vector<persist::SectionSpec> sections;
+  sections.reserve(1 + 3 * frozen.cas.size());
+  sections.push_back({kSectionMeta, ByteSpan(meta)});
+  for (std::size_t i = 0; i < frozen.cas.size(); ++i) {
+    const auto base = static_cast<std::uint32_t>((i + 1) << 8);
+    sections.push_back({base | kSectionKindLog, secs[i].log});
+    sections.push_back({base | kSectionKindSorted, secs[i].sorted});
+    sections.push_back({base | kSectionKindTree, secs[i].tree});
+  }
+  return persist::SnapshotFile::write_v2(dir, frozen.mutation_seq, sections);
+}
+
 void DictionaryStore::persist_to(const std::string& dir) {
-  Bytes payload;
-  ByteWriter w(payload);
-  snapshot_into(w);
-  persist::SnapshotFile::write(dir, mutation_seq_, ByteSpan(payload));
+  persist_frozen(freeze(), dir);
   if (wal_ != nullptr) wal_->reset(mutation_seq_ + 1);
+}
+
+void DictionaryStore::restore_v2(const persist::SnapshotFile::Mapped& mapped) {
+  const auto bad = [](const char* what) -> std::runtime_error {
+    return std::runtime_error(
+        std::string("DictionaryStore::restore_v2: ") + what);
+  };
+  const auto find_section =
+      [&mapped](std::uint32_t tag) -> const persist::SectionView* {
+    for (const auto& s : mapped.sections) {
+      if (s.tag == tag) return &s;
+    }
+    return nullptr;
+  };
+  const persist::SectionView* meta = find_section(kSectionMeta);
+  if (meta == nullptr) throw bad("missing meta section");
+  ByteReader r{meta->data};
+  if (r.try_u8().value_or(0xFF) != kStoreSnapshotVersion2) {
+    throw bad("unsupported snapshot version");
+  }
+  const auto count = r.try_u32();
+  if (!count) throw bad("truncated header");
+
+  // Staged exactly like restore_from: a failure at any CA (including a
+  // section that fails adoption) leaves the store untouched.
+  std::map<cert::CaId, CaState> staged = cas_;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto ca_bytes = r.try_var16();
+    if (!ca_bytes) throw bad("truncated CA id");
+    const cert::CaId ca(ca_bytes->begin(), ca_bytes->end());
+    auto it = staged.find(ca);
+    if (it == staged.end()) throw bad("snapshot CA not registered");
+    CaState& state = it->second;
+
+    const auto have_root = r.try_u8();
+    const auto desync = r.try_u8();
+    if (!have_root || *have_root > 1 || !desync || *desync > 1) {
+      throw bad("bad flags");
+    }
+    state.have_root = *have_root == 1;
+    state.desynchronized = *desync == 1;
+    if (state.have_root) {
+      const auto root_bytes = r.try_var16();
+      if (!root_bytes) throw bad("truncated signed root");
+      auto root = dict::SignedRoot::decode(ByteSpan(*root_bytes));
+      if (!root || root->ca != ca) throw bad("bad signed root");
+      // Trust is re-established from the registered key, not the file.
+      if (!root->verify(state.key)) throw bad("signed root fails key check");
+      state.root = std::move(*root);
+    } else {
+      state.root = dict::SignedRoot{};
+    }
+    const auto freshness = r.try_raw(20);
+    const auto period = r.try_u64();
+    const auto seq = r.try_u64();
+    if (!freshness || !period || !seq) throw bad("truncated freshness state");
+    std::copy(freshness->begin(), freshness->end(), state.freshness.begin());
+    state.freshness_period = *period;
+    state.freshness_seq = *seq;
+
+    const auto dict_epoch = r.try_u64();
+    const auto dict_n = r.try_u64();
+    const auto dict_root = r.try_raw(20);
+    if (!dict_epoch || !dict_n || !dict_root) {
+      throw bad("truncated dictionary meta");
+    }
+    dict::DictSections sec;
+    sec.epoch = *dict_epoch;
+    sec.n = *dict_n;
+    std::copy(dict_root->begin(), dict_root->end(), sec.root.begin());
+    const auto base = static_cast<std::uint32_t>((i + 1) << 8);
+    const persist::SectionView* log = find_section(base | kSectionKindLog);
+    const persist::SectionView* sorted =
+        find_section(base | kSectionKindSorted);
+    const persist::SectionView* tree = find_section(base | kSectionKindTree);
+    if (log == nullptr || sorted == nullptr || tree == nullptr) {
+      throw bad("missing dictionary section");
+    }
+    sec.log = log->data;
+    sec.sorted = sorted->data;
+    sec.tree = tree->data;
+    // Adopts the mapped arenas in place; the mapping stays alive through
+    // the keepalive for as long as any arena still aliases it.
+    state.dict.restore_sections(sec, mapped.file);
+    if (state.have_root && (state.dict.root() != state.root.root ||
+                            state.dict.size() != state.root.n)) {
+      throw bad("dictionary does not match signed root");
+    }
+  }
+  if (!r.done()) throw bad("trailing meta bytes");
+  cas_ = std::move(staged);
 }
 
 DictionaryStore::RecoveryReport DictionaryStore::recover_from(
     const std::string& dir) {
   RecoveryReport report;
-  persist::RecoveryResult rec = persist::Recovery::recover(dir);
+  persist::MappedRecovery rec = persist::Recovery::recover_mapped(dir);
   report.truncated_bytes = rec.wal_truncated_bytes;
   report.snapshots_skipped = rec.snapshots_skipped;
 
-  if (rec.have_snapshot) {
+  std::uint64_t snapshot_seq = 0;
+  if (rec.snapshot) {
     try {
-      ByteReader r{ByteSpan(rec.snapshot)};
-      restore_from(r);
-      if (!r.done()) throw std::runtime_error("trailing snapshot bytes");
+      if (rec.snapshot->version == 2) {
+        restore_v2(*rec.snapshot);
+      } else {
+        // v1 file: one kLegacySection payload, the streaming restore path.
+        ByteReader r{rec.snapshot->sections.front().data};
+        restore_from(r);
+        if (!r.done()) throw std::runtime_error("trailing snapshot bytes");
+      }
     } catch (const std::exception& e) {
       report.error = e.what();
       return report;
     }
     report.have_snapshot = true;
-    report.snapshot_seq = rec.snapshot_seq;
+    report.snapshot_seq = rec.snapshot->seq;
+    snapshot_seq = rec.snapshot->seq;
   }
-  mutation_seq_ = rec.snapshot_seq;
+  mutation_seq_ = snapshot_seq;
 
   // Replay the tail through the very apply paths that ran live; the WAL
   // only holds accepted mutations, so rejections here mean the log and

@@ -34,6 +34,14 @@
 // apply_* paths that ran live — recovery *is* replay, so the recovered
 // root/epoch/proofs are byte-identical to an in-memory replay of the
 // surviving prefix.
+//
+// Zero-copy persistence (PR 9): persist_to() writes snapshot format v2 —
+// each dictionary's entry log, sorted index, and digest arena go to disk as
+// raw 64-byte-aligned sections, and recover_from() mmaps the file and
+// adopts them in place (copy-on-first-mutation) instead of deserializing
+// and re-hashing. freeze()/persist_frozen() split the write into an O(#CAs)
+// consistent copy under the mutation lock and an off-lock file commit,
+// which is what bounds the serving stall of background checkpoints.
 #pragma once
 
 #include <array>
@@ -226,9 +234,54 @@ class DictionaryStore {
   /// untouched. Registered CAs absent from the snapshot keep their state.
   void restore_from(ByteReader& r);
 
+  /// Snapshot format v2 section tags (persist::SectionSpec::tag): tag 1
+  /// carries the store metadata (flags, signed roots, freshness state, and
+  /// per-dictionary epoch/n/root); the i-th CA's dictionary arenas (in meta
+  /// order) use ((i+1) << 8) | kind with kinds 1 = entry log, 2 = sorted
+  /// index, 3 = digest arena. Kind 4 is reserved for treap priorities.
+  static constexpr std::uint32_t kSectionMeta = 1;
+  static constexpr std::uint32_t kSectionKindLog = 1;
+  static constexpr std::uint32_t kSectionKindSorted = 2;
+  static constexpr std::uint32_t kSectionKindTree = 3;
+
+  /// A consistent copy of every replica's durable state, cheap enough to
+  /// take under the mutation lock: the Dictionary copies share their arenas
+  /// copy-on-write, so freeze() is O(#CAs) regardless of entry counts. The
+  /// background checkpointer freezes briefly, then persists the frozen
+  /// image while the live store keeps mutating (first mutation per arena
+  /// pays one detach-copy).
+  struct FrozenStore {
+    struct FrozenCa {
+      cert::CaId ca;
+      bool have_root = false;
+      bool desynchronized = false;
+      dict::SignedRoot root;
+      crypto::Digest20 freshness{};
+      std::uint64_t freshness_period = 0;
+      std::uint64_t freshness_seq = 0;
+      dict::Dictionary dict;  // arena-sharing copy
+    };
+    std::vector<FrozenCa> cas;  // in CaId order (matches section tagging)
+    std::uint64_t mutation_seq = 0;
+  };
+
+  /// Takes the O(#CAs) frozen copy. The caller must hold whatever
+  /// serializes mutations for the duration of this call only; persisting
+  /// the result can then run concurrently with further mutations.
+  FrozenStore freeze() const;
+
+  /// Commits `frozen` as a format-v2 (mmap-ready) snapshot into `dir`,
+  /// stamped with frozen.mutation_seq. Never touches the WAL — the caller
+  /// decides whether the log may be reset (persist_to resets immediately;
+  /// the background checkpointer resets only if no mutation landed while it
+  /// wrote). Returns the committed file's size in bytes.
+  static std::uint64_t persist_frozen(const FrozenStore& frozen,
+                                      const std::string& dir);
+
   /// Atomically writes the current state as a snapshot into `dir` (stamped
   /// with mutation_seq()) and, when a WAL is attached, resets it — the
-  /// snapshot supersedes every logged record.
+  /// snapshot supersedes every logged record. Writes format v2;
+  /// recover_from() reads both formats.
   void persist_to(const std::string& dir);
 
   struct RecoveryReport {
@@ -342,6 +395,11 @@ class DictionaryStore {
   /// Appends an accepted mutation to the attached WAL (no-op while
   /// replaying or with no WAL attached).
   void log_mutation(std::uint8_t type, UnixSeconds now, ByteSpan message);
+  /// Restores a format-v2 mapped snapshot: parses the meta section, adopts
+  /// each CA's arena sections in place (keeping the mapping alive), and
+  /// re-verifies every signed root against its registered key. Staged like
+  /// restore_from — throws on any mismatch, leaving the store untouched.
+  void restore_v2(const persist::SnapshotFile::Mapped& mapped);
 
   /// Relaxed atomics: serving threads bump these concurrently; cache_stats()
   /// snapshots them into the plain CacheStats struct.

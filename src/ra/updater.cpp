@@ -1,5 +1,7 @@
 #include "ra/updater.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <stdexcept>
 
@@ -174,6 +176,9 @@ void RaUpdater::run_sync(const cert::CaId& ca, UnixSeconds now) {
 
 RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
                                             TimeMs now) {
+  // Mutation driver: exclude the checkpoint thread's freeze/reset windows
+  // for the whole batch (serving reads never take this lock).
+  std::lock_guard<std::mutex> freeze_lock(freeze_mu_);
   PullResult result;
   const UnixSeconds now_s = to_seconds(now);
   while (next_period_ <= upto_period) {
@@ -222,6 +227,7 @@ RaUpdater::PullResult RaUpdater::pull_up_to(std::uint64_t upto_period,
 }
 
 RaUpdater::~RaUpdater() {
+  stop_checkpoints();
   // The store must never keep a pointer into the WAL this updater owns.
   if (wal_ && store_->wal() == wal_.get()) store_->attach_wal(nullptr);
 }
@@ -251,14 +257,98 @@ void RaUpdater::checkpoint() {
   if (!wal_) {
     throw std::logic_error("RaUpdater::checkpoint: persistence not enabled");
   }
-  wal_->sync();
-  store_->persist_to(persist_dir_);  // stamps mutation_seq, resets the WAL
-  // Re-mark the cursor right after the reset: the snapshot carries only
-  // store state, so the freshly emptied log must say where pulling resumes.
-  // (A crash inside this window recovers with cursor 0 and re-pulls old
-  // periods; the store rejects them as stale — wasteful, never unsound.)
-  mark_period();
-  wal_->sync();
+  checkpoint_once(/*sync_log_first=*/true);
+}
+
+void RaUpdater::checkpoint_once(bool sync_log_first) {
+  using Clock = std::chrono::steady_clock;
+  DictionaryStore::FrozenStore frozen;
+  std::uint64_t stall_us = 0;
+  {
+    // The freeze window — the only stall mutation drivers can observe.
+    const auto t0 = Clock::now();
+    std::lock_guard<std::mutex> lock(freeze_mu_);
+    if (sync_log_first) wal_->sync();
+    frozen = store_->freeze();
+    stall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              t0)
+            .count());
+  }
+  // The expensive part — serialization and the fsync'd file commit — runs
+  // off-lock against the frozen arenas while pulls keep landing.
+  const std::uint64_t bytes =
+      DictionaryStore::persist_frozen(frozen, persist_dir_);
+  bool reset = false;
+  {
+    std::lock_guard<std::mutex> lock(freeze_mu_);
+    if (store_->mutation_seq() == frozen.mutation_seq) {
+      // Nothing landed while writing: the snapshot covers the whole log.
+      wal_->reset(frozen.mutation_seq + 1);
+      // Re-mark the cursor right after the reset: the snapshot carries
+      // only store state, so the freshly emptied log must say where
+      // pulling resumes. (A crash inside this window recovers with cursor
+      // 0 and re-pulls old periods; the store rejects them as stale —
+      // wasteful, never unsound.)
+      mark_period();
+      wal_->sync();
+      reset = true;
+    }
+    // Otherwise leave the log intact: recovery drops records at or below
+    // the snapshot's stamp anyway, and the next cycle retries the reset.
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++ckpt_stats_.checkpoints;
+  if (reset) ++ckpt_stats_.wal_resets;
+  else ++ckpt_stats_.wal_reset_skipped;
+  ckpt_stats_.last_bytes = bytes;
+  ckpt_stats_.last_stall_us = stall_us;
+  ckpt_stats_.max_stall_us = std::max(ckpt_stats_.max_stall_us, stall_us);
+  ckpt_stats_.total_stall_us += stall_us;
+}
+
+void RaUpdater::checkpoint_loop(double interval_s) {
+  const auto interval = std::chrono::duration<double>(interval_s);
+  std::unique_lock<std::mutex> lk(ckpt_mu_);
+  while (!ckpt_stop_) {
+    if (ckpt_cv_.wait_for(lk, interval, [this] { return ckpt_stop_; })) {
+      break;
+    }
+    lk.unlock();
+    checkpoint_once(/*sync_log_first=*/false);
+    lk.lock();
+  }
+}
+
+void RaUpdater::start_checkpoints(double interval_s) {
+  if (!wal_) {
+    throw std::logic_error(
+        "RaUpdater::start_checkpoints: persistence not enabled");
+  }
+  if (ckpt_thread_.joinable()) {
+    throw std::logic_error("RaUpdater::start_checkpoints: already running");
+  }
+  if (interval_s <= 0) {
+    throw std::invalid_argument(
+        "RaUpdater::start_checkpoints: interval must be > 0");
+  }
+  ckpt_stop_ = false;
+  ckpt_thread_ = std::thread([this, interval_s] { checkpoint_loop(interval_s); });
+}
+
+void RaUpdater::stop_checkpoints() {
+  if (!ckpt_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  ckpt_thread_.join();
+}
+
+RaUpdater::CheckpointStats RaUpdater::checkpoint_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return ckpt_stats_;
 }
 
 DictionaryStore::RecoveryReport RaUpdater::recover(const std::string& dir,
@@ -282,6 +372,7 @@ DictionaryStore::RecoveryReport RaUpdater::recover(const std::string& dir,
 }
 
 svc::Status RaUpdater::bootstrap(const cert::CaId& ca, TimeMs now) {
+  std::lock_guard<std::mutex> freeze_lock(freeze_mu_);  // mutation driver
   const auto fetch = fetch_object(ca::cold_start_path(ca), now);
   if (!fetch.ok()) return fetch.error();
   const auto payload = cdn::decode_get_response(ByteSpan(fetch.response.body));

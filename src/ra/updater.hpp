@@ -27,11 +27,14 @@
 // snapshot+delta object replaces the full replay entirely.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ca/distribution.hpp"
@@ -165,7 +168,42 @@ class RaUpdater {
   /// Writes an atomic snapshot of the store (and the feed cursor) into the
   /// persistence directory and resets the WAL — the O(history) part of a
   /// restart collapses into this file; only the log tail is replayed.
+  /// Runs one full cycle on the calling thread (freeze → persist →
+  /// conditional WAL reset + cursor re-mark); safe against a concurrent
+  /// background checkpoint thread and concurrent pulls.
   void checkpoint();
+
+  // ------------------------------------------- background checkpointing
+
+  /// Spawns a thread that checkpoints every `interval_s` seconds while the
+  /// RA keeps serving (PR 9). Mutation drivers (pull_up_to, bootstrap) and
+  /// the checkpoint thread synchronize on an internal freeze mutex; the
+  /// thread holds it only for the O(#CAs) arena-sharing freeze() and,
+  /// after the off-lock file write, briefly again for the WAL reset — the
+  /// measured stall is that freeze window, not the write. The WAL is reset
+  /// only when no mutation landed while the snapshot was written;
+  /// otherwise the log stays intact (recovery filters records the snapshot
+  /// already covers) and the next cycle retries. Serving reads
+  /// (status_bytes_for) never touch the freeze mutex at all. Requires
+  /// persistence; throws std::logic_error otherwise or if already running.
+  void start_checkpoints(double interval_s);
+
+  /// Stops and joins the background checkpoint thread (no-op when none is
+  /// running). Does not run a final checkpoint — call checkpoint() for a
+  /// clean shutdown snapshot.
+  void stop_checkpoints();
+
+  struct CheckpointStats {
+    std::uint64_t checkpoints = 0;       // completed snapshot commits
+    std::uint64_t wal_resets = 0;        // cycles that emptied the log
+    std::uint64_t wal_reset_skipped = 0; // mutations raced the file write
+    std::uint64_t last_bytes = 0;        // newest snapshot file size
+    std::uint64_t last_stall_us = 0;     // newest freeze window
+    std::uint64_t max_stall_us = 0;
+    std::uint64_t total_stall_us = 0;
+  };
+  /// Thread-safe snapshot of the checkpoint counters (sync + background).
+  CheckpointStats checkpoint_stats() const;
 
   /// Crash-consistent restart: recovers the store from the newest valid
   /// snapshot plus the WAL tail, restores the feed cursor from the last
@@ -184,6 +222,13 @@ class RaUpdater {
 
  private:
   void apply_message(const ca::FeedMessage& msg, UnixSeconds now);
+  /// One checkpoint cycle: freeze under freeze_mu_, persist off-lock,
+  /// re-lock for the conditional WAL reset. `sync_log_first` additionally
+  /// fsyncs the WAL inside the freeze window (the synchronous checkpoint()
+  /// keeps its pre-PR-9 durability ordering; the background thread skips it
+  /// to keep the stall minimal — the snapshot supersedes those records).
+  void checkpoint_once(bool sync_log_first);
+  void checkpoint_loop(double interval_s);
   void run_sync(const cert::CaId& ca, UnixSeconds now);
   /// feed_delta attempt; false means "server does not speak delta, retry
   /// the same sync over feed_sync" (any other outcome is terminal).
@@ -208,6 +253,17 @@ class RaUpdater {
   Health health_;
   std::string persist_dir_;
   std::unique_ptr<persist::WriteAheadLog> wal_;
+  /// Serializes mutation drivers against the checkpoint thread's freeze
+  /// and WAL-reset windows. The checkpoint thread never holds it across
+  /// the file write, so a mutator stalls for microseconds; a mutator may
+  /// hold it for a whole pull batch, which merely delays the checkpoint.
+  std::mutex freeze_mu_;
+  std::thread ckpt_thread_;
+  std::mutex ckpt_mu_;             // guards ckpt_stop_ with ckpt_cv_
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  mutable std::mutex stats_mu_;
+  CheckpointStats ckpt_stats_;
   // Owned resilient wrappers installed by enable_resilience().
   std::unique_ptr<svc::ResilientTransport> resilient_cdn_;
   std::unique_ptr<svc::ResilientTransport> resilient_sync_;

@@ -63,6 +63,8 @@ FLOORS = [
     ("svc_status.multicore_scaling.factor_at_4", 2.5,
      "4-reactor aggregate RPS vs 1 reactor",
      ("svc_status.multicore_scaling.cores", 8)),
+    ("recovery.mmap_speedup", 3.0,
+     "format-v2 mmap restore vs v1 streaming restore", None),
 ]
 
 # Absolute ceilings, the mirror image of FLOORS: same-run ratios that must
@@ -75,6 +77,10 @@ CEILINGS = [
      "digest-gossip bytes vs full-list bytes at 100 RAs", None),
     ("gossip_mesh.rounds_to_convergence", 12,
      "gossip rounds until every RA holds the full root set", None),
+    ("checkpoint.stall_us", 5000,
+     "mean freeze stall a background checkpoint imposes on mutators", None),
+    ("checkpoint.incremental_bytes_ratio", 0.20,
+     "incremental shard checkpoint bytes vs full at 1% dirt", None),
 ]
 
 

@@ -15,13 +15,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ca/authority.hpp"
+#include "cdn/cdn.hpp"
+#include "cdn/service.hpp"
 #include "ra/gossip.hpp"
 #include "ra/service.hpp"
 #include "ra/store.hpp"
+#include "ra/updater.hpp"
 #include "svc/tcp.hpp"
 
 using namespace ritm;
@@ -37,6 +41,8 @@ void on_signal(int) { g_stop = 1; }
                "[--delta SECONDS] [--max-conns N]\n"
                "                  [--quota-rps N] [--quota-burst N] "
                "[--idle-timeout-ms N] [--retry-after-ms N] [--reactors N]\n"
+               "                  [--persist-dir DIR] "
+               "[--checkpoint-interval-s N]\n"
                "  --port N             TCP port to listen on (default 4717; "
                "0 = ephemeral)\n"
                "  --entries N          revoked serials in the demo dictionary "
@@ -55,7 +61,14 @@ void on_signal(int) { g_stop = 1; }
                "  --reactors N         epoll reactor threads, each with its "
                "own SO_REUSEPORT listener\n"
                "                       (default 0 = one per hardware "
-               "thread)\n");
+               "thread)\n"
+               "  --persist-dir DIR    durable mode: recover from DIR on "
+               "start, WAL + snapshot into it\n"
+               "  --checkpoint-interval-s N\n"
+               "                       background checkpoint period in "
+               "seconds (default 30; 0 = only\n"
+               "                       the final shutdown checkpoint; "
+               "needs --persist-dir)\n");
   std::exit(2);
 }
 
@@ -77,6 +90,8 @@ int main(int argc, char** argv) {
   std::uint32_t idle_timeout_ms = 0;
   std::uint32_t retry_after_ms = 100;
   unsigned reactors = 0;
+  std::string persist_dir;
+  double checkpoint_interval_s = 30.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--port")) {
       port = static_cast<std::uint16_t>(arg_u64(argc, argv, i));
@@ -99,6 +114,12 @@ int main(int argc, char** argv) {
       retry_after_ms = static_cast<std::uint32_t>(arg_u64(argc, argv, i));
     } else if (!std::strcmp(argv[i], "--reactors")) {
       reactors = static_cast<unsigned>(arg_u64(argc, argv, i));
+    } else if (!std::strcmp(argv[i], "--persist-dir")) {
+      if (i + 1 >= argc) usage();
+      persist_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--checkpoint-interval-s")) {
+      if (i + 1 >= argc) usage();
+      checkpoint_interval_s = std::strtod(argv[++i], nullptr);
     } else {
       usage();
     }
@@ -122,16 +143,50 @@ int main(int argc, char** argv) {
 
   ra::DictionaryStore store;
   store.register_ca(ca.id(), ca.public_key(), delta);
-  {
+
+  // Durable mode: recover the replica from the snapshot + WAL tail before
+  // bootstrapping. The demo CA is deterministic, so a recovered replica
+  // either matches it (nothing to sync) or trails it (--entries grew);
+  // the sync below then only sends the missing suffix — WAL-logged.
+  auto global_cdn = cdn::make_global_cdn(60'000);
+  cdn::LocalCdn local_cdn(&global_cdn);
+  std::unique_ptr<ra::RaUpdater> updater;
+  ra::DictionaryStore::RecoveryReport recovery;
+  if (!persist_dir.empty()) {
+    updater = std::make_unique<ra::RaUpdater>(ra::RaUpdater::Config{}, &store,
+                                              &local_cdn.rpc);
+    recovery = updater->recover(persist_dir);
+    if (!recovery.ok) {
+      std::fprintf(stderr, "ritm_serve: recovery from %s failed: %s\n",
+                   persist_dir.c_str(), recovery.error.c_str());
+      return 1;
+    }
+  }
+
+  const std::uint64_t have = store.have_n(ca.id());
+  if (have > ca.dictionary().size()) {
+    std::fprintf(stderr,
+                 "ritm_serve: recovered replica has %llu entries but the "
+                 "demo CA only %llu; rerun with --entries >= %llu or a "
+                 "fresh --persist-dir\n",
+                 (unsigned long long)have,
+                 (unsigned long long)ca.dictionary().size(),
+                 (unsigned long long)have);
+    return 1;
+  }
+  if (!store.has_root(ca.id()) || have < ca.dictionary().size()) {
     dict::SyncResponse boot;
     boot.ca = ca.id();
-    boot.entries = ca.dictionary().entries_from(1);
+    boot.entries = ca.dictionary().entries_from(have + 1);
     boot.signed_root = ca.signed_root();
     boot.freshness = ca.freshness_at(now);
     if (store.apply_sync(boot, now) != ra::ApplyResult::ok) {
       std::fprintf(stderr, "ritm_serve: RA bootstrap failed\n");
       return 1;
     }
+  }
+  if (updater && checkpoint_interval_s > 0.0) {
+    updater->start_checkpoints(checkpoint_interval_s);
   }
 
   cert::TrustStore keys;
@@ -169,12 +224,24 @@ int main(int argc, char** argv) {
                 "%u ms, retry_after %u ms\n",
                 quota_rps, quota_burst, idle_timeout_ms, retry_after_ms);
   }
+  if (updater) {
+    std::printf("  persist     %s (recovered %llu entries: snapshot seq "
+                "%llu + %llu WAL records; checkpoint every %.1fs)\n",
+                persist_dir.c_str(), (unsigned long long)have,
+                (unsigned long long)recovery.snapshot_seq,
+                (unsigned long long)recovery.replayed, checkpoint_interval_s);
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   while (!g_stop) {
     pause();  // the epoll loop runs on the server's own thread
+  }
+
+  if (updater) {
+    updater->stop_checkpoints();
+    updater->checkpoint();  // shutdown snapshot: restart replays no WAL
   }
 
   const auto stats = server.stats();
@@ -204,5 +271,17 @@ int main(int argc, char** argv) {
               (unsigned long long)gs.bytes_sent,
               (unsigned long long)gs.bytes_received,
               (unsigned long long)gs.bytes_saved);
+  if (updater) {
+    const auto cs = updater->checkpoint_stats();
+    std::printf("persist: %llu checkpoints (%llu WAL resets, %llu skipped), "
+                "last snapshot %llu B, freeze stall last %llu us / max "
+                "%llu us\n",
+                (unsigned long long)cs.checkpoints,
+                (unsigned long long)cs.wal_resets,
+                (unsigned long long)cs.wal_reset_skipped,
+                (unsigned long long)cs.last_bytes,
+                (unsigned long long)cs.last_stall_us,
+                (unsigned long long)cs.max_stall_us);
+  }
   return 0;
 }
