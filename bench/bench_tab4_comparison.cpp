@@ -6,6 +6,7 @@
 // n_ra = 230M (10 clients/RA), n_cl = 2.3B, and ∆ = 10 s for RITM.
 #include <cstdio>
 
+#include "baseline/crlite.hpp"
 #include "baseline/schemes.hpp"
 #include "common/table.hpp"
 
@@ -54,5 +55,28 @@ int main() {
   std::printf("legend: I near-instant revocation, P privacy, E efficiency/"
               "scalability,\n        T transparency/accountability, S server "
               "changes not required\n");
+
+  // Operational models: what one deployment pays per day to keep its
+  // stated attack window (CRLite push cadence / stapling refresh / RITM ∆).
+  std::printf("\n== Operational cost vs. attack window ==\n");
+  Table op({"method", "cadence", "client storage", "refresh B/day (payer)",
+            "attack window"});
+  const baseline::OperationalProfile profiles[] = {
+      baseline::crlite_operational(p, 6 * 3600.0),
+      baseline::crlite_operational(p, p.crlite_push_seconds),
+      baseline::stapling_operational(p, 3600.0),
+      baseline::stapling_operational(p, 86400.0),
+      baseline::ritm_operational(p),
+  };
+  const double cadences[] = {6 * 3600.0, p.crlite_push_seconds, 3600.0,
+                             86400.0, p.delta_seconds};
+  for (std::size_t i = 0; i < std::size(profiles); ++i) {
+    const auto& o = profiles[i];
+    op.add_row({o.name, window(cadences[i]),
+                human(o.client_storage_bytes) + "B",
+                human(o.refresh_bytes_per_day) + "B (" + o.refresh_payer + ")",
+                window(o.attack_window_seconds)});
+  }
+  std::printf("%s\n", op.render().c_str());
   return 0;
 }

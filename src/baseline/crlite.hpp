@@ -1,0 +1,113 @@
+// CRLite-style filter cascade (Larisch et al., S&P 2017) plus the
+// operational models behind the extended Tab. IV rows: a multi-level Bloom
+// filter that encodes the *exact* revoked set relative to a known universe
+// of valid certificates, so clients answer revocation checks locally with
+// zero false positives and zero false negatives — at the cost of shipping
+// the cascade to every client and re-pushing it on a fixed cadence. The
+// push cadence IS the attack window, which is the comparison the scenario
+// harness draws against RITM's 2∆.
+//
+// Level 0 encodes the revoked set sized for the valid universe; level 1
+// encodes the valid certificates that level 0 falsely accepts; level 2 the
+// revoked ones level 1 falsely accepts; and so on until no false positives
+// remain. A query walks the levels until a filter misses; the parity of
+// that level is the verdict. Following the CRLite paper, level 0 uses
+// f ≈ r/(√2·s) and deeper levels f = 1/2, which minimizes total size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "baseline/schemes.hpp"
+
+namespace ritm::baseline {
+
+/// One Bloom filter level: m bits, k hash probes derived from
+/// SHA-256(level ‖ key) by double hashing.
+class BloomLevel {
+ public:
+  /// Sizes the filter for `n` entries at false-positive rate `fp`
+  /// (m = ⌈-n·ln fp / ln²2⌉, k = max(1, round(m/n·ln 2))).
+  BloomLevel(std::uint32_t level, std::uint64_t n, double fp);
+
+  void insert(ByteSpan key);
+  bool contains(ByteSpan key) const;
+
+  std::uint64_t bits() const noexcept { return m_; }
+  std::uint32_t hashes() const noexcept { return k_; }
+  std::uint64_t size_bytes() const noexcept { return bits_.size() * 8; }
+
+ private:
+  std::uint64_t index(std::uint64_t h1, std::uint64_t h2,
+                      std::uint32_t i) const noexcept;
+
+  std::uint32_t level_;
+  std::uint64_t m_;
+  std::uint32_t k_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// The full cascade. Exact over the build-time universe: queries for any
+/// key in `revoked` return true, for any key in `valid` return false.
+/// Keys outside the universe get the level-0 Bloom answer (the reason
+/// CRLite needs complete CT coverage to be sound).
+class FilterCascade {
+ public:
+  /// Builds the cascade. Both sets must be disjoint; `valid` is the rest
+  /// of the certificate universe the client might query.
+  static FilterCascade build(const std::vector<Bytes>& revoked,
+                             const std::vector<Bytes>& valid);
+
+  /// True iff the cascade says `key` is revoked.
+  bool is_revoked(ByteSpan key) const;
+
+  std::size_t levels() const noexcept { return levels_.size(); }
+  std::uint64_t size_bytes() const;
+
+ private:
+  std::vector<BloomLevel> levels_;
+};
+
+/// Analytic cascade size in bits for r revoked among s valid certificates
+/// (level-0 rate r/(√2·s), deeper levels 1/2) — the closed form the
+/// operational model uses so Tab. IV scales to 1.38M revocations without
+/// building a multi-gigabit filter in a bench.
+double crlite_cascade_bits(double n_revoked, double n_valid);
+
+/// Tab. IV row for CRLite. Storage is expressed in entry-equivalents
+/// (cascade bytes / bytes_per_revocation) so the column stays comparable
+/// with the list-based rows.
+SchemeProfile crlite(const Params& p);
+
+/// Operational cost model: what one deployment actually pays per day to
+/// keep clients inside the stated attack window. The scenario bench emits
+/// these next to RITM's measured numbers.
+struct OperationalProfile {
+  std::string name;
+  /// Bytes a client (or stapling server) must hold locally.
+  double client_storage_bytes = 0;
+  /// Bytes per day one client/server/RA pulls to stay fresh.
+  double refresh_bytes_per_day = 0;
+  /// Who pays the refresh: "client", "server", or "RA".
+  std::string refresh_payer;
+  /// Worst-case seconds from revocation to universal rejection, as a
+  /// function of the scheme's push/refresh cadence.
+  double attack_window_seconds = 0;
+};
+
+/// CRLite with a full-cascade push every `push_cadence_s` seconds (the
+/// deployed system pushes deltas; we charge the delta for the day's new
+/// revocations plus one full cascade per week, amortized).
+OperationalProfile crlite_operational(const Params& p, double push_cadence_s);
+
+/// OCSP stapling where every server re-fetches its staple every
+/// `refresh_s` seconds (window = refresh cadence, capped by response
+/// validity — after that the staple is rejected anyway).
+OperationalProfile stapling_operational(const Params& p, double refresh_s);
+
+/// RITM: RAs pull one signed update per ∆; clients store nothing.
+OperationalProfile ritm_operational(const Params& p);
+
+}  // namespace ritm::baseline

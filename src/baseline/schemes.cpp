@@ -115,7 +115,8 @@ std::vector<SchemeProfile> evaluate_all(const Params& p) {
   return {crl(p),           crlset(p),
           ocsp(p),          ocsp_stapling(p),
           log_client_driven(p), log_server_driven(p),
-          revcast(p),       ritm(p)};
+          revcast(p),       crlite(p),
+          ritm(p)};
 }
 
 double revcast_dissemination_seconds(const Params& p,

@@ -30,6 +30,9 @@ struct Params {
   double log_update_seconds = 6 * 3600;        // log MMD-style refresh
   double revcast_bits_per_second = 421.8;      // paper §II
   double bytes_per_revocation = 12.0;          // 3B serial + metadata
+  double crlite_push_seconds = 86400;          // daily filter-cascade push
+  double revocations_per_day = 3'800;          // 1.38M over the trace year
+  double ocsp_response_bytes = 500.0;          // typical signed response
 };
 
 struct SchemeProfile {
@@ -61,6 +64,8 @@ SchemeProfile ocsp_stapling(const Params& p);
 SchemeProfile log_client_driven(const Params& p);
 SchemeProfile log_server_driven(const Params& p);
 SchemeProfile revcast(const Params& p);
+/// CRLite filter cascade (full model + build in baseline/crlite.hpp).
+SchemeProfile crlite(const Params& p);
 SchemeProfile ritm(const Params& p);
 
 /// Seconds RevCast needs to broadcast `revocations` entries at its radio

@@ -1,0 +1,51 @@
+#include "scenario/metrics.hpp"
+
+#include <cmath>
+
+namespace ritm::scenario {
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::uint64_t LogHistogram::percentile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile, 1-based; the standard "ceil(q * N)" order
+  // statistic so percentile(1.0) is the max bucket.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;
+  if (rank > total_) rank = total_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_low(i);
+  }
+  return bucket_low(kBuckets - 1);
+}
+
+DriverMetrics merge_metrics(const std::vector<DriverMetrics>& drivers) {
+  DriverMetrics m;
+  for (const auto& d : drivers) {
+    m.flows += d.flows;
+    m.batches += d.batches;
+    m.revoked += d.revoked;
+    m.valid += d.valid;
+    m.wrong_verdict += d.wrong_verdict;
+    m.rpc_errors += d.rpc_errors;
+    m.decode_errors += d.decode_errors;
+    m.bytes_sent += d.bytes_sent;
+    m.bytes_received += d.bytes_received;
+    m.latency_us.merge(d.latency_us);
+    m.staleness_ms.merge(d.staleness_ms);
+    for (const auto& [key, vtime] : d.first_seen) {
+      m.note_first_seen(key, vtime);
+    }
+  }
+  return m;
+}
+
+}  // namespace ritm::scenario

@@ -1,0 +1,81 @@
+#include "scenario/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ritm::scenario {
+
+std::string ScenarioReport::digest() const {
+  crypto::Sha256 h;
+  std::uint8_t buf[8];
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      buf[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    h.update(ByteSpan(buf, 8));
+  };
+  h.update(bytes_of("ritm.scenario.report.v1"));
+  h.update(bytes_of(schedule_digest));
+  put_u64(flows);
+  put_u64(revoked);
+  put_u64(valid);
+  put_u64(wrong_verdict);
+  for (auto c : staleness_ms_hist.counts()) put_u64(c);
+  put_u64(attack_window_ms.size());
+  for (auto w : attack_window_ms) put_u64(static_cast<std::uint64_t>(w));
+  const auto digest = h.finish();
+  return to_hex(ByteSpan(digest.data(), 20));
+}
+
+std::string ScenarioReport::to_json() const {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"name\": \"%s\",\n"
+      "  \"schedule_digest\": \"%s\",\n"
+      "  \"report_digest\": \"%s\",\n"
+      "  \"mode\": \"%s\",\n"
+      "  \"transport\": \"%s\",\n"
+      "  \"drivers\": %u,\n"
+      "  \"flows\": %" PRIu64 ",\n"
+      "  \"revoked\": %" PRIu64 ",\n"
+      "  \"valid\": %" PRIu64 ",\n"
+      "  \"wrong_verdict\": %" PRIu64 ",\n"
+      "  \"rpc_errors\": %" PRIu64 ",\n"
+      "  \"decode_errors\": %" PRIu64 ",\n"
+      "  \"attack_window_samples\": %zu,\n"
+      "  \"attack_window_p50_s\": %.3f,\n"
+      "  \"attack_window_p99_s\": %.3f,\n"
+      "  \"attack_window_p999_s\": %.3f,\n"
+      "  \"staleness_p50_ms\": %" PRIu64 ",\n"
+      "  \"staleness_p99_ms\": %" PRIu64 ",\n"
+      "  \"staleness_p999_ms\": %" PRIu64 ",\n"
+      "  \"batches\": %" PRIu64 ",\n"
+      "  \"bytes_sent\": %" PRIu64 ",\n"
+      "  \"bytes_received\": %" PRIu64 ",\n"
+      "  \"latency_p50_us\": %" PRIu64 ",\n"
+      "  \"latency_p99_us\": %" PRIu64 ",\n"
+      "  \"latency_p999_us\": %" PRIu64 ",\n"
+      "  \"cache_hits\": %" PRIu64 ",\n"
+      "  \"cache_misses\": %" PRIu64 ",\n"
+      "  \"cache_hit_rate\": %.4f,\n"
+      "  \"elapsed_s\": %.3f,\n"
+      "  \"flows_per_s\": %.0f\n"
+      "}",
+      name.c_str(), schedule_digest.c_str(), digest().c_str(),
+      lockstep ? "lockstep" : "freerun", tcp ? "tcp" : "inproc", drivers,
+      flows, revoked, valid, wrong_verdict, rpc_errors, decode_errors,
+      attack_window_ms.size(), attack_window_p50_s, attack_window_p99_s,
+      attack_window_p999_s, staleness_p50_ms, staleness_p99_ms,
+      staleness_p999_ms, batches, bytes_sent, bytes_received, latency_p50_us,
+      latency_p99_us, latency_p999_us, cache_hits, cache_misses,
+      cache_hit_rate, elapsed_s, flows_per_s);
+  return std::string(buf);
+}
+
+}  // namespace ritm::scenario

@@ -1,0 +1,68 @@
+// ScenarioReport: the merged result of one engine run, with a deterministic
+// digest over the replay-invariant fields.
+//
+// The digest covers the schedule digest, the flow-outcome counts, the
+// staleness histogram, and the sorted attack-window samples — everything
+// that is a pure function of (spec, seed) in lockstep mode, regardless of
+// driver count or thread interleaving. Wall-clock latency, throughput, and
+// cache counters are reported but excluded: they measure the machine, not
+// the scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/metrics.hpp"
+
+namespace ritm::scenario {
+
+struct ScenarioReport {
+  std::string name;
+  std::string schedule_digest;
+  bool lockstep = true;
+  bool tcp = false;
+  unsigned drivers = 0;
+
+  // Flow outcomes (deterministic in lockstep).
+  std::uint64_t flows = 0;
+  std::uint64_t revoked = 0;
+  std::uint64_t valid = 0;
+  std::uint64_t wrong_verdict = 0;
+  std::uint64_t rpc_errors = 0;
+  std::uint64_t decode_errors = 0;
+
+  // Attack window: virtual time from a revocation's request at its CA to
+  // the first client observing a presence proof. Sorted samples in ms.
+  std::vector<std::int64_t> attack_window_ms;
+  double attack_window_p50_s = 0.0;
+  double attack_window_p99_s = 0.0;
+  double attack_window_p999_s = 0.0;
+
+  // Staleness of served roots (flow vtime - signed_root.timestamp).
+  LogHistogram staleness_ms_hist;
+  std::uint64_t staleness_p50_ms = 0;
+  std::uint64_t staleness_p99_ms = 0;
+  std::uint64_t staleness_p999_ms = 0;
+
+  // Machine-dependent (excluded from the digest).
+  std::uint64_t batches = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t latency_p50_us = 0;
+  std::uint64_t latency_p99_us = 0;
+  std::uint64_t latency_p999_us = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  double elapsed_s = 0.0;
+  double flows_per_s = 0.0;
+
+  /// 20-byte hex digest of the deterministic fields (see file comment).
+  std::string digest() const;
+
+  /// Pretty JSON object (the ritm_scenario CLI output).
+  std::string to_json() const;
+};
+
+}  // namespace ritm::scenario

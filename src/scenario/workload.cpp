@@ -1,0 +1,220 @@
+#include "scenario/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "eval/trace.hpp"
+#include "scenario/zipf.hpp"
+
+namespace ritm::scenario {
+
+namespace {
+
+// splitmix64 finalizer — decorrelates the per-period RNG seeds.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+WorkloadPlan WorkloadPlan::compile(const ScenarioSpec& spec) {
+  spec.validate();
+  WorkloadPlan plan;
+  plan.spec_ = spec;
+  const auto cas = static_cast<std::size_t>(spec.cas);
+
+  // The calibrated trace provides the CA mix and the day-to-day volume
+  // shape. Reusing the spec seed keeps the whole plan a pure function of
+  // the spec.
+  eval::TraceConfig tc;
+  tc.seed = spec.seed;
+  tc.num_cas = spec.cas;
+  const eval::RevocationTrace trace(tc);
+  const auto& daily = trace.daily();
+  const double mean_daily =
+      static_cast<double>(trace.total()) / static_cast<double>(tc.days);
+
+  // ---- initial corpus: trace shares, remainder to CA 0 (the largest).
+  plan.initial_per_ca_.assign(cas, 0);
+  std::uint64_t assigned = 0;
+  for (std::size_t c = 1; c < cas; ++c) {
+    const auto n = static_cast<std::uint64_t>(
+        static_cast<double>(spec.initial_revocations) *
+        trace.ca_share(static_cast<int>(c)));
+    plan.initial_per_ca_[c] = n;
+    assigned += n;
+  }
+  plan.initial_per_ca_[0] = spec.initial_revocations - assigned;
+  // Every CA needs at least one entry (validate() guarantees the budget):
+  // an empty dictionary has no cold-start object to bootstrap from.
+  for (std::size_t c = 1; c < cas; ++c) {
+    if (plan.initial_per_ca_[c] == 0 && plan.initial_per_ca_[0] > 1) {
+      plan.initial_per_ca_[c] = 1;
+      --plan.initial_per_ca_[0];
+    }
+  }
+
+  // ---- feed plan: period p samples trace day trace_day0 + (p-1), wrapping
+  // inside the trace span so long runs stay defined.
+  const int day_span = tc.days - spec.trace_day0;
+  if (day_span <= 0) {
+    throw std::invalid_argument("ScenarioSpec: trace_day0 beyond trace span");
+  }
+  plan.feed_counts_.assign(spec.periods + 1, std::vector<std::uint32_t>(cas, 0));
+  for (std::uint64_t p = 1; p <= spec.periods; ++p) {
+    const int day =
+        spec.trace_day0 + static_cast<int>((p - 1) % static_cast<std::uint64_t>(
+                                                         day_span));
+    const auto day_total = daily[static_cast<std::size_t>(day)];
+    const double scale = static_cast<double>(day_total) / mean_daily;
+    const auto period_total = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(spec.feed_revocations_per_period) * scale));
+    // Split across CAs by the day's mix; remainder to the day's largest.
+    std::uint64_t split = 0;
+    for (std::size_t c = 1; c < cas; ++c) {
+      const double share =
+          day_total == 0
+              ? 0.0
+              : static_cast<double>(trace.daily_for_ca(day, static_cast<int>(c))) /
+                    static_cast<double>(day_total);
+      const auto n = static_cast<std::uint64_t>(
+          static_cast<double>(period_total) * share);
+      plan.feed_counts_[p][c] = static_cast<std::uint32_t>(n);
+      split += n;
+    }
+    plan.feed_counts_[p][0] =
+        static_cast<std::uint32_t>(period_total - std::min(split, period_total));
+  }
+  if (spec.mass_revocation) {
+    const auto& mr = *spec.mass_revocation;
+    plan.feed_counts_[mr.period][static_cast<std::size_t>(mr.ca)] +=
+        static_cast<std::uint32_t>(mr.count);
+  }
+
+  // ---- cumulative frontiers, and the exact serial-space check.
+  plan.cum_revoked_.assign(spec.periods + 1, std::vector<std::uint64_t>(cas, 0));
+  plan.cum_revoked_[0] = plan.initial_per_ca_;
+  for (std::uint64_t p = 1; p <= spec.periods; ++p) {
+    for (std::size_t c = 0; c < cas; ++c) {
+      plan.cum_revoked_[p][c] =
+          plan.cum_revoked_[p - 1][c] + plan.feed_counts_[p][c];
+      if (plan.cum_revoked_[p][c] > spec.serial_space / 2) {
+        throw std::invalid_argument(
+            "ScenarioSpec: serial_space too small for the derived feed plan");
+      }
+    }
+  }
+
+  // ---- flow volumes per period (flash crowds reweight, total preserved).
+  std::vector<double> weight(spec.periods + 1, 0.0);
+  double weight_sum = 0.0;
+  for (std::uint64_t p = 1; p <= spec.periods; ++p) {
+    weight[p] = spec.crowd_multiplier(p);
+    weight_sum += weight[p];
+  }
+  plan.flow_offsets_.assign(spec.periods + 2, 0);
+  std::uint64_t placed = 0;
+  for (std::uint64_t p = 1; p <= spec.periods; ++p) {
+    std::uint64_t n;
+    if (p == spec.periods) {
+      n = spec.flows - placed;  // exact total, rounding dust to the tail
+    } else {
+      n = static_cast<std::uint64_t>(std::llround(
+          static_cast<double>(spec.flows) * weight[p] / weight_sum));
+      n = std::min(n, spec.flows - placed);
+    }
+    placed += n;
+    plan.flow_offsets_[p + 1] = plan.flow_offsets_[p] + n;
+  }
+
+  // ---- materialize the flows. One RNG stream per period (seeded from the
+  // spec seed and the period only), so the schedule is independent of the
+  // driver count that later replays it.
+  plan.flows_.resize(plan.flow_offsets_[spec.periods + 1]);
+  const ZipfSampler zipf(spec.serial_space, spec.zipf_s);
+  std::vector<double> ca_cum(cas, 0.0);
+  {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cas; ++c) {
+      acc += trace.ca_share(static_cast<int>(c));
+      ca_cum[c] = acc;
+    }
+    ca_cum[cas - 1] = 1.0;  // defensive: kill normalization dust
+  }
+  for (std::uint64_t p = 1; p <= spec.periods; ++p) {
+    Rng rng(mix64(spec.seed ^ mix64(p)));
+    const std::uint64_t begin = plan.flow_offsets_[p];
+    const std::uint64_t end = plan.flow_offsets_[p + 1];
+    for (std::uint64_t g = begin; g < end; ++g) {
+      const double u = rng.uniform01();
+      const auto ca_it =
+          std::lower_bound(ca_cum.begin(), ca_cum.end(), u);
+      const auto ca = static_cast<std::uint64_t>(
+          ca_it == ca_cum.end() ? cas - 1
+                                : static_cast<std::size_t>(ca_it - ca_cum.begin()));
+      // Always consume the serial draw so canary flows don't shift the
+      // stream for everything after them.
+      const std::uint64_t rank = zipf.sample(rng);
+      std::uint64_t word;
+      const bool canary = spec.canary_every != 0 &&
+                          (g - begin) % spec.canary_every == 0 &&
+                          plan.newest_revoked(static_cast<int>(ca), p) != 0;
+      if (canary) {
+        word = plan.newest_revoked(static_cast<int>(ca), p) |
+               (ca << kFlowCaShift) | kFlowCanaryBit;
+      } else {
+        word = (rank + 1) | (ca << kFlowCaShift);
+      }
+      plan.flows_[g] = word;
+    }
+  }
+  return plan;
+}
+
+std::uint64_t WorkloadPlan::feed_total(std::uint64_t period) const {
+  std::uint64_t n = 0;
+  for (auto c : feed_counts_[period]) n += c;
+  return n;
+}
+
+TimeMs WorkloadPlan::flow_vtime_ms(std::uint64_t period,
+                                   std::uint64_t idx) const {
+  const TimeMs span = from_seconds(spec_.delta);
+  const std::uint64_t n = flows_in(period);
+  if (n == 0) return period_start_ms(period);
+  // (idx + 0.5) / n of the way through the period, in integer math.
+  return period_start_ms(period) +
+         static_cast<TimeMs>((static_cast<unsigned __int128>(span) *
+                              (2 * idx + 1)) /
+                             (2 * n));
+}
+
+std::string WorkloadPlan::digest() const {
+  crypto::Sha256 h;
+  const Bytes spec_bytes = spec_.encode_workload();
+  h.update(spec_bytes);
+  std::uint8_t buf[8];
+  auto put_u64 = [&](std::uint64_t v) {
+    for (int i = 7; i >= 0; --i) {
+      buf[i] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    h.update(ByteSpan(buf, 8));
+  };
+  for (auto n : initial_per_ca_) put_u64(n);
+  for (std::uint64_t p = 1; p <= spec_.periods; ++p) {
+    for (auto c : feed_counts_[p]) put_u64(c);
+  }
+  for (auto off : flow_offsets_) put_u64(off);
+  for (auto w : flows_) put_u64(w);
+  const auto digest = h.finish();
+  return to_hex(ByteSpan(digest.data(), 20));
+}
+
+}  // namespace ritm::scenario

@@ -1,0 +1,131 @@
+// WorkloadPlan: a ScenarioSpec compiled into a fully materialized, driver-
+// count-independent schedule.
+//
+// compile() derives three deterministic artifacts from the spec:
+//
+//   1. The feed plan — for every period p in [1, periods] and every CA, how
+//      many serials that CA revokes in p. Volumes follow the calibrated
+//      paper trace (eval::RevocationTrace): period p samples trace day
+//      trace_day0 + (p-1), the per-period total scales with that day's
+//      height relative to the trace mean, and the per-CA split follows the
+//      day's CA mix. The optional MassRevocation is added on top.
+//   2. The initial corpus — initial_revocations split across CAs by trace
+//      share, installed via cold start before any flow runs.
+//   3. The flow schedule — one packed u64 per flow (CA, serial value,
+//      canary flag), Zipf-sampled per period from a per-period RNG stream.
+//      Because the schedule is materialized up front, any driver count
+//      replays the identical flows: drivers just consume disjoint slices.
+//
+// digest() hashes the spec encoding, the feed plan, and every flow word —
+// two runs agree on the digest iff they would issue the same requests in
+// the same virtual order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+#include "scenario/spec.hpp"
+
+namespace ritm::scenario {
+
+/// Packed flow word: bits [0,48) serial value, [48,63) CA index, bit 63 set
+/// for canary flows (which query the newest revocation instead of a Zipf
+/// draw).
+constexpr std::uint64_t kFlowValueMask = (std::uint64_t{1} << 48) - 1;
+constexpr unsigned kFlowCaShift = 48;
+constexpr std::uint64_t kFlowCaMask = (std::uint64_t{1} << 15) - 1;
+constexpr std::uint64_t kFlowCanaryBit = std::uint64_t{1} << 63;
+
+constexpr std::uint64_t flow_value(std::uint64_t word) noexcept {
+  return word & kFlowValueMask;
+}
+constexpr int flow_ca(std::uint64_t word) noexcept {
+  return static_cast<int>((word >> kFlowCaShift) & kFlowCaMask);
+}
+constexpr bool flow_is_canary(std::uint64_t word) noexcept {
+  return (word & kFlowCanaryBit) != 0;
+}
+
+class WorkloadPlan {
+ public:
+  /// Validates the spec and materializes the full schedule. Throws
+  /// std::invalid_argument when the spec is inconsistent or the derived
+  /// revocation volume overflows the odd half of the serial space.
+  static WorkloadPlan compile(const ScenarioSpec& spec);
+
+  const ScenarioSpec& spec() const noexcept { return spec_; }
+
+  // ----------------------------------------------------------- feed plan
+  /// Serials CA `ca` revokes in period p (p in [1, periods]).
+  std::uint32_t feed_count(std::uint64_t period, int ca) const {
+    return feed_counts_[period][static_cast<std::size_t>(ca)];
+  }
+  /// Total revocations published in period p across all CAs.
+  std::uint64_t feed_total(std::uint64_t period) const;
+  /// Pre-run corpus of CA `ca` (installed via cold start as period 0).
+  std::uint64_t initial_count(int ca) const {
+    return initial_per_ca_[static_cast<std::size_t>(ca)];
+  }
+  /// Revocations of CA `ca` applied once feed period p has been pulled
+  /// (the serial frontier: serials 2k+1 for k < revoked_after(ca, p) are
+  /// revoked). Period 0 = just the initial corpus.
+  std::uint64_t revoked_after(int ca, std::uint64_t period) const {
+    return cum_revoked_[period][static_cast<std::size_t>(ca)];
+  }
+  /// Ground truth: is `value` revoked once period p is applied?
+  bool revoked_at(int ca, std::uint64_t value, std::uint64_t period) const {
+    return (value & 1) != 0 && (value - 1) / 2 < revoked_after(ca, period);
+  }
+  /// The newest revoked serial value of CA `ca` as of period p, or 0 when
+  /// the CA has revoked nothing yet (canary flows query this).
+  std::uint64_t newest_revoked(int ca, std::uint64_t period) const {
+    const std::uint64_t k = revoked_after(ca, period);
+    return k == 0 ? 0 : 2 * (k - 1) + 1;
+  }
+
+  // ------------------------------------------------------- flow schedule
+  std::uint64_t total_flows() const noexcept { return flows_.size(); }
+  /// Flows of period p occupy flows()[flow_begin(p), flow_end(p)).
+  std::uint64_t flow_begin(std::uint64_t period) const {
+    return flow_offsets_[period];
+  }
+  std::uint64_t flow_end(std::uint64_t period) const {
+    return flow_offsets_[period + 1];
+  }
+  std::uint64_t flows_in(std::uint64_t period) const {
+    return flow_end(period) - flow_begin(period);
+  }
+  const std::vector<std::uint64_t>& flows() const noexcept { return flows_; }
+
+  // ------------------------------------------------------- virtual clock
+  TimeMs period_start_ms(std::uint64_t period) const noexcept {
+    return from_seconds(static_cast<UnixSeconds>(period) * spec_.delta);
+  }
+  /// Virtual issue time of flow `idx` (index within its period): flows are
+  /// spread evenly across the period.
+  TimeMs flow_vtime_ms(std::uint64_t period, std::uint64_t idx) const;
+  /// Virtual time the period-p revocations were requested at their CA: the
+  /// middle of period p-1 (the CA batches them into the update it publishes
+  /// at the p boundary — the paper's half-∆ expected queueing delay).
+  TimeMs issue_vtime_ms(std::uint64_t period) const noexcept {
+    return period_start_ms(period) - from_seconds(spec_.delta) / 2;
+  }
+
+  /// 20-byte schedule digest as lowercase hex.
+  std::string digest() const;
+
+ private:
+  ScenarioSpec spec_;
+  std::vector<std::uint64_t> initial_per_ca_;
+  // [period][ca]; index 0 unused (bootstrap corpus is initial_per_ca_).
+  std::vector<std::vector<std::uint32_t>> feed_counts_;
+  // [period][ca] cumulative frontier after pulling period p.
+  std::vector<std::vector<std::uint64_t>> cum_revoked_;
+  std::vector<std::uint64_t> flow_offsets_;  // size periods + 2
+  std::vector<std::uint64_t> flows_;
+};
+
+}  // namespace ritm::scenario

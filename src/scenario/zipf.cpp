@@ -1,0 +1,32 @@
+#include "scenario/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ritm::scenario {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+  cum_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(double(r + 1), s);
+    cum_[r] = total;
+  }
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double target = rng.uniform01() * cum_.back();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), target);
+  if (it == cum_.end()) return cum_.size() - 1;
+  return static_cast<std::size_t>(it - cum_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  const double w = 1.0 / std::pow(double(rank + 1), s_);
+  return w / cum_.back();
+}
+
+}  // namespace ritm::scenario

@@ -1,0 +1,40 @@
+// Zipf-distributed rank sampling for the scenario workload engine.
+//
+// The paper's client population queries certificate serials with a heavy
+// head (a handful of very popular sites dominate TLS handshakes), which is
+// what makes the RA's status-byte cache effective and what a flash crowd
+// amplifies. Rng::zipf() draws with an O(n) scan per sample — fine for the
+// population model's one-off draws, hopeless for millions of flows — so the
+// harness precomputes the cumulative weight table once and samples with a
+// binary search: O(log n) per flow, bit-identical for a given (n, s, seed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ritm::scenario {
+
+class ZipfSampler {
+ public:
+  /// Ranks [0, n) drawn with weight 1/(rank+1)^s. n must be > 0; s >= 0
+  /// (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// One rank draw from `rng` (the caller owns the stream, so per-driver
+  /// streams stay independent and reproducible).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t n() const noexcept { return cum_.size(); }
+  double s() const noexcept { return s_; }
+
+  /// Normalized probability of `rank` (for distribution sanity tests).
+  double probability(std::size_t rank) const;
+
+ private:
+  double s_ = 0.0;
+  std::vector<double> cum_;  // cum_[r] = sum of weights for ranks 0..r
+};
+
+}  // namespace ritm::scenario

@@ -1,0 +1,63 @@
+// Service composition for the envelope API.
+//
+// MuxService routes requests to per-method backend services, so one port
+// (or one in-process dispatch) can expose the RA status endpoints, the CDN
+// object store, and the feed sync/delta endpoints together — the shape of a
+// real deployment where an edge node fronts several roles. Unrouted methods
+// answer unknown_method exactly like a server that never implemented them,
+// which is what keeps capability probing (feed_delta fallback, gossip
+// digest fallback) working through a mux unchanged.
+//
+// SharedLockService enforces the DictionaryStore concurrency contract at
+// the service boundary: reads (handle calls) take a caller-supplied
+// std::shared_mutex shared; whoever mutates the store (feed pulls,
+// bootstraps) takes the same mutex exclusively. This is the
+// checkpoint-test idiom packaged as a decorator so the TCP reactors and
+// the scenario drivers can't forget it.
+#pragma once
+
+#include <array>
+#include <shared_mutex>
+
+#include "svc/service.hpp"
+
+namespace ritm::svc {
+
+class MuxService final : public Service {
+ public:
+  /// Routes `method` to `backend` (which must outlive the mux). Re-routing
+  /// a method replaces the previous backend.
+  void route(Method method, Service* backend) noexcept;
+
+  /// Fallback for unrouted methods; nullptr (the default) answers
+  /// unknown_method.
+  void set_default(Service* backend) noexcept { default_ = backend; }
+
+  ServeResult handle(const Request& req) override;
+
+ private:
+  // Method ids are small and dense; a flat table keeps routing off the
+  // allocator and branch-predictable on the serving path.
+  static constexpr std::size_t kMaxMethod = 64;
+  std::array<Service*, kMaxMethod> routes_{};
+  Service* default_ = nullptr;
+};
+
+class SharedLockService final : public Service {
+ public:
+  /// Both must outlive the service. Mutators of the state behind `inner`
+  /// must hold `mu` exclusively.
+  SharedLockService(Service* inner, std::shared_mutex* mu) noexcept
+      : inner_(inner), mu_(mu) {}
+
+  ServeResult handle(const Request& req) override {
+    std::shared_lock lock(*mu_);
+    return inner_->handle(req);
+  }
+
+ private:
+  Service* inner_;
+  std::shared_mutex* mu_;
+};
+
+}  // namespace ritm::svc

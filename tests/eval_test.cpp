@@ -50,6 +50,22 @@ TEST(Trace, HourlySumsToDaily) {
   EXPECT_EQ(sum1, trace.daily()[static_cast<std::size_t>(day) + 1]);
 }
 
+TEST(Trace, HourlyRejectsHostileDayRanges) {
+  // Pin the range validation: negative start, inverted and empty windows,
+  // and a window running past the trace span must all throw — a silent
+  // empty result would make scenario feed plans quietly lose days.
+  const RevocationTrace trace;
+  const int days = trace.config().days;
+  EXPECT_THROW(trace.hourly(-1, 1), std::invalid_argument);
+  EXPECT_THROW(trace.hourly(5, 4), std::invalid_argument);
+  EXPECT_THROW(trace.hourly(5, 5), std::invalid_argument);
+  EXPECT_THROW(trace.hourly(0, days + 1), std::invalid_argument);
+  EXPECT_THROW(trace.hourly(days, days + 1), std::invalid_argument);
+  // The full span is the largest legal window.
+  EXPECT_EQ(trace.hourly(0, days).size(),
+            static_cast<std::size_t>(days) * 24u);
+}
+
 TEST(Trace, LargestCaShareMatchesPaper) {
   const RevocationTrace trace;
   EXPECT_NEAR(trace.ca_share(0), 0.246, 1e-9);

@@ -65,6 +65,10 @@ FLOORS = [
      ("svc_status.multicore_scaling.cores", 8)),
     ("recovery.mmap_speedup", 3.0,
      "format-v2 mmap restore vs v1 streaming restore", None),
+    # Zipf-shaped status traffic must keep the per-root status cache warm;
+    # measured 0.57-0.62 on the smoke and heartbleed presets.
+    ("scenario.cache_hit_rate", 0.50,
+     "status-cache hit rate under scenario Zipf traffic", None),
 ]
 
 # Absolute ceilings, the mirror image of FLOORS: same-run ratios that must
@@ -81,6 +85,15 @@ CEILINGS = [
      "mean freeze stall a background checkpoint imposes on mutators", None),
     ("checkpoint.incremental_bytes_ratio", 0.20,
      "incremental shard checkpoint bytes vs full at 1% dirt", None),
+    # The paper's §V bound: a revocation reaches every client within 2∆
+    # (∆ = 10 s in the scenario presets) plus publication margin. Measured
+    # p99 ≈ 6.7 s on the heartbleed preset; 25 s means dissemination broke.
+    ("scenario.attack_window_p99_s", 25.0,
+     "virtual seconds from revocation to first client rejection (p99)", None),
+    # The harness proved every verdict against the ground-truth plan; any
+    # nonzero count is a correctness bug in the serving plane.
+    ("scenario.wrong_verdict", 0,
+     "scenario flows answered with the wrong revocation verdict", None),
 ]
 
 

@@ -20,12 +20,15 @@
 #include <vector>
 
 #include "ca/authority.hpp"
+#include "ca/distribution.hpp"
+#include "ca/sync_service.hpp"
 #include "cdn/cdn.hpp"
 #include "cdn/service.hpp"
 #include "ra/gossip.hpp"
 #include "ra/service.hpp"
 #include "ra/store.hpp"
 #include "ra/updater.hpp"
+#include "svc/mux.hpp"
 #include "svc/tcp.hpp"
 
 using namespace ritm;
@@ -194,7 +197,29 @@ int main(int argc, char** argv) {
   ra::GossipPool gossip(&keys);
   gossip.observe(ca.signed_root());
 
+  // One port, full deployment surface: RA status/gossip endpoints plus the
+  // CDN object store (cold-start bootstrap) and the CA feed sync/delta
+  // endpoints, muxed by method — what a fresh RA or a scenario driver needs
+  // to go from nothing to serving without a second address.
+  ca::DistributionPoint dp(&global_cdn, delta);
+  dp.register_ca(ca.id(), ca.public_key());
+  dp.publish(from_seconds(now));  // empty period-0 feed object
+  if (dp.publish_cold_start(ca.cold_start_object(0, now),
+                            from_seconds(now)) != svc::Status::ok) {
+    std::fprintf(stderr, "ritm_serve: cold-start publish failed\n");
+    return 1;
+  }
+
+  ca::SyncService sync;
+  sync.add(&ca);
+  sync.set_period_source(&dp);
+
   ra::RaService service(&store, &gossip);
+  svc::MuxService mux;
+  mux.set_default(&service);
+  mux.route(svc::Method::cdn_get, &local_cdn.service);
+  mux.route(svc::Method::feed_sync, &sync);
+  mux.route(svc::Method::feed_delta, &sync);
   svc::TcpServerOptions opts;
   opts.port = port;
   opts.max_connections = max_conns;
@@ -203,7 +228,7 @@ int main(int argc, char** argv) {
   opts.idle_timeout_ms = idle_timeout_ms;
   opts.retry_after_ms = retry_after_ms;
   opts.reactors = reactors;
-  svc::TcpServer server(&service, opts);
+  svc::TcpServer server(&mux, opts);
 
   const auto& key = ca.public_key();
   std::printf("ritm_serve: listening on 127.0.0.1:%u\n", server.port());
@@ -213,8 +238,9 @@ int main(int argc, char** argv) {
   std::printf("  trust       %s\n",
               to_hex(ByteSpan(key.data(), key.size())).c_str());
   std::printf("  revoked     serials 7, 14, 21, ... (hex width 4)\n");
-  std::printf("  protocol    v%u; methods: status_query(4) status_batch(5) "
-              "gossip_roots(3) gossip_digest(6) gossip_pull(7)\n",
+  std::printf("  protocol    v%u; methods: cdn_get(1) feed_sync(2) "
+              "gossip_roots(3) status_query(4) status_batch(5) "
+              "gossip_digest(6) gossip_pull(7) feed_delta(8)\n",
               svc::kProtocolVersion);
   std::printf("  reactors    %u (%s)\n", server.reactor_count(),
               server.using_reuseport() ? "SO_REUSEPORT listeners"
